@@ -1,0 +1,54 @@
+//! Diagnostic: prefetch aggressiveness vs filter IPC gains.
+use ppf_sim::experiments::RunSpec;
+use ppf_sim::report::geomean;
+use ppf_types::{FilterKind, SystemConfig};
+use ppf_workloads::Workload;
+
+fn main() {
+    for degree in [2u32, 4, 6, 8] {
+        let mut grid = Vec::new();
+        for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
+            for &w in &Workload::ALL {
+                let mut cfg = SystemConfig::paper_default().with_filter(kind);
+                cfg.prefetch.nsp_degree = degree;
+                grid.push(RunSpec::new(kind.label(), cfg, w).instructions(600_000));
+            }
+        }
+        let reports = ppf_sim::run_grid(grid);
+        let ipc = |label: &str| -> Vec<f64> {
+            reports
+                .iter()
+                .filter(|r| r.label == label)
+                .map(|r| r.ipc())
+                .collect()
+        };
+        let none = ipc("none");
+        let pa = ipc("PA");
+        let pc = ipc("PC");
+        let gain = |f: &[f64]| {
+            let r: Vec<f64> = f.iter().zip(none.iter()).map(|(a, b)| a / b).collect();
+            geomean(&r) - 1.0
+        };
+        let traffic: f64 = reports
+            .iter()
+            .filter(|r| r.label == "none")
+            .map(|r| r.stats.prefetches_issued.total() as f64 / r.stats.l1.demand_accesses as f64)
+            .sum::<f64>()
+            / 10.0;
+        let bad: f64 = reports
+            .iter()
+            .filter(|r| r.label == "none")
+            .map(|r| {
+                r.stats.bad_total() as f64
+                    / (r.stats.bad_total() + r.stats.good_total()).max(1) as f64
+            })
+            .sum::<f64>()
+            / 10.0;
+        println!(
+            "degree={degree}  traffic={traffic:.3}  bad={:.1}%  PA gain={:+.1}%  PC gain={:+.1}%",
+            100.0 * bad,
+            100.0 * gain(&pa),
+            100.0 * gain(&pc)
+        );
+    }
+}

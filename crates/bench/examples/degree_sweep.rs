@@ -1,0 +1,32 @@
+//! Diagnostic: NSP degree vs Figure-1 bad share and Figure-2 traffic ratio.
+use ppf_sim::experiments::RunSpec;
+use ppf_types::SystemConfig;
+use ppf_workloads::Workload;
+
+fn main() {
+    for degree in [1u32, 2, 3, 4] {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.prefetch.nsp_degree = degree;
+        let specs: Vec<RunSpec> = Workload::ALL
+            .iter()
+            .map(|&w| RunSpec::new("x", cfg.clone(), w).instructions(600_000))
+            .collect();
+        let reports = ppf_sim::run_grid(specs);
+        let mut bad_fracs = Vec::new();
+        let mut ratios = Vec::new();
+        for r in &reports {
+            let g = r.stats.good_total();
+            let b = r.stats.bad_total();
+            bad_fracs.push(b as f64 / (g + b).max(1) as f64);
+            ratios
+                .push(r.stats.prefetches_issued.total() as f64 / r.stats.l1.demand_accesses as f64);
+        }
+        let mb = bad_fracs.iter().sum::<f64>() / 10.0;
+        let mr = ratios.iter().sum::<f64>() / 10.0;
+        println!(
+            "degree={degree}  mean_bad={:.1}%  mean_traffic_ratio={:.3}",
+            100.0 * mb,
+            mr
+        );
+    }
+}

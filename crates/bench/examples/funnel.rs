@@ -1,0 +1,26 @@
+//! Diagnostic: prefetch funnel per source for one workload.
+use ppf_sim::experiments::RunSpec;
+use ppf_types::{PrefetchSource, SystemConfig};
+use ppf_workloads::Workload;
+
+fn main() {
+    for w in [Workload::Mcf, Workload::Perimeter, Workload::Em3d] {
+        let r = RunSpec::new("x", SystemConfig::paper_default(), w)
+            .instructions(600_000)
+            .run();
+        println!("--- {w}", w = w.name());
+        for s in PrefetchSource::ALL {
+            println!(
+                "  {:<9} proposed={:>7} dup={:>7} filtered={:>5} overflow={:>5} issued={:>7} good={:>6} bad={:>6}",
+                s.name(),
+                r.stats.prefetches_proposed.get(s),
+                r.stats.prefetches_duplicate.get(s),
+                r.stats.prefetches_filtered.get(s),
+                r.stats.prefetches_queue_overflow.get(s),
+                r.stats.prefetches_issued.get(s),
+                r.stats.prefetch_good.get(s),
+                r.stats.prefetch_bad.get(s),
+            );
+        }
+    }
+}

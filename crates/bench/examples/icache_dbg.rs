@@ -1,0 +1,20 @@
+//! Diagnostic: I-cache behaviour per workload.
+use ppf_sim::experiments::RunSpec;
+use ppf_types::SystemConfig;
+use ppf_workloads::Workload;
+
+fn main() {
+    for w in [Workload::Em3d, Workload::Gcc, Workload::Wave5] {
+        let r = RunSpec::new("x", SystemConfig::paper_default(), w)
+            .instructions(300_000)
+            .run();
+        println!(
+            "{:<8} ipc={:.3} l1i: acc={} miss={} rate={:.4}",
+            w.name(),
+            r.ipc(),
+            r.stats.l1i.demand_accesses,
+            r.stats.l1i.demand_misses,
+            r.stats.l1i.miss_rate()
+        );
+    }
+}

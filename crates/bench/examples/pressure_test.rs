@@ -1,0 +1,40 @@
+//! Diagnostic: do the buffer/port effects flip at higher prefetch traffic?
+use ppf_sim::experiments::RunSpec;
+use ppf_sim::report::geomean;
+use ppf_types::{FilterKind, SystemConfig};
+use ppf_workloads::Workload;
+
+fn main() {
+    for degree in [1u32, 4, 8] {
+        // Buffer effect under PA filter.
+        let mut grid = Vec::new();
+        for &w in &Workload::ALL {
+            let mut pa = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+            pa.prefetch.nsp_degree = degree;
+            grid.push(RunSpec::new("PA", pa.clone(), w).instructions(400_000));
+            grid.push(RunSpec::new("PA+buf", pa.with_prefetch_buffer(), w).instructions(400_000));
+        }
+        // Port sweep (no filter, to isolate contention).
+        for &w in &Workload::ALL {
+            for ports in [3usize, 4, 5] {
+                let mut cfg = SystemConfig::paper_default().with_l1_ports(ports);
+                cfg.prefetch.nsp_degree = degree;
+                grid.push(RunSpec::new(format!("{ports}p"), cfg, w).instructions(400_000));
+            }
+        }
+        let reports = ppf_sim::run_grid(grid);
+        let buf_gain: Vec<f64> = (0..10)
+            .map(|i| reports[2 * i + 1].ipc() / reports[2 * i].ipc())
+            .collect();
+        let base = 20;
+        let p3: Vec<f64> = (0..10).map(|i| reports[base + 3 * i].ipc()).collect();
+        let p4: Vec<f64> = (0..10).map(|i| reports[base + 3 * i + 1].ipc()).collect();
+        let p5: Vec<f64> = (0..10).map(|i| reports[base + 3 * i + 2].ipc()).collect();
+        println!(
+            "degree={degree}: buffer IPC effect {:+.1}% | ports 3->4 {:+.1}%, 4->5 {:+.1}%",
+            100.0 * (geomean(&buf_gain) - 1.0),
+            100.0 * (geomean(&p4) / geomean(&p3) - 1.0),
+            100.0 * (geomean(&p5) / geomean(&p4) - 1.0),
+        );
+    }
+}

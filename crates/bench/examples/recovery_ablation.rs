@@ -1,0 +1,37 @@
+//! Ablation: the filter with recovery disabled (the strict, absorbing
+//! reading of the paper) vs. the default — reproduces the EXPERIMENTS.md
+//! claim about removal rates.
+use ppf_sim::experiments::RunSpec;
+use ppf_types::{FilterKind, SystemConfig};
+use ppf_workloads::Workload;
+
+fn main() {
+    for (name, window) in [("no-recovery", 0u64), ("recovery-400cy", 400)] {
+        let mut grid = Vec::new();
+        for kind in [FilterKind::None, FilterKind::Pa] {
+            for &w in &Workload::ALL {
+                let mut cfg = SystemConfig::paper_default().with_filter(kind);
+                cfg.filter.recovery_window = window;
+                grid.push(RunSpec::new(kind.label(), cfg, w).instructions(600_000));
+            }
+        }
+        let reports = ppf_sim::run_grid(grid);
+        let none: Vec<_> = reports.iter().filter(|r| r.label == "none").collect();
+        let pa: Vec<_> = reports.iter().filter(|r| r.label == "PA").collect();
+        let mut bad_red = Vec::new();
+        let mut good_loss = Vec::new();
+        for i in 0..10 {
+            bad_red.push(
+                1.0 - pa[i].stats.bad_total() as f64 / none[i].stats.bad_total().max(1) as f64,
+            );
+            good_loss.push(
+                1.0 - pa[i].stats.good_total() as f64 / none[i].stats.good_total().max(1) as f64,
+            );
+        }
+        println!(
+            "{name:<16} PA bad removed {:.0}%  good lost {:.0}%",
+            100.0 * bad_red.iter().sum::<f64>() / 10.0,
+            100.0 * good_loss.iter().sum::<f64>() / 10.0
+        );
+    }
+}

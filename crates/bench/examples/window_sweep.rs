@@ -1,0 +1,50 @@
+//! Diagnostic: recovery-window sweep — bad reduction / good loss / IPC.
+use ppf_sim::experiments::RunSpec;
+use ppf_sim::report::geomean;
+use ppf_types::{FilterKind, SystemConfig};
+use ppf_workloads::Workload;
+
+fn main() {
+    for window in [8u64, 16, 32, 64, 128, 256] {
+        let mut grid = Vec::new();
+        for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
+            for &w in &Workload::ALL {
+                let mut cfg = SystemConfig::paper_default().with_filter(kind);
+                cfg.filter.recovery_window = window;
+                grid.push(RunSpec::new(kind.label(), cfg, w).instructions(600_000));
+            }
+        }
+        let reports = ppf_sim::run_grid(grid);
+        let by = |label: &str| -> Vec<&ppf_sim::SimReport> {
+            reports.iter().filter(|r| r.label == label).collect()
+        };
+        let (none, pa, pc) = (by("none"), by("PA"), by("PC"));
+        let summarize = |f: &[&ppf_sim::SimReport]| {
+            let mut bad_red = Vec::new();
+            let mut good_loss = Vec::new();
+            let mut gains = Vec::new();
+            for i in 0..10 {
+                let b0 = none[i].stats.bad_total() as f64;
+                let g0 = none[i].stats.good_total() as f64;
+                if b0 > 0.0 {
+                    bad_red.push(1.0 - f[i].stats.bad_total() as f64 / b0);
+                }
+                if g0 > 0.0 {
+                    good_loss.push(1.0 - f[i].stats.good_total() as f64 / g0);
+                }
+                gains.push(f[i].ipc() / none[i].ipc());
+            }
+            (
+                bad_red.iter().sum::<f64>() / bad_red.len() as f64,
+                good_loss.iter().sum::<f64>() / good_loss.len() as f64,
+                geomean(&gains) - 1.0,
+            )
+        };
+        let (br_pa, gl_pa, g_pa) = summarize(&pa);
+        let (br_pc, gl_pc, g_pc) = summarize(&pc);
+        println!(
+            "window={window:<4} PA: badred={:.0}% goodloss={:.0}% ipc={:+.1}% | PC: badred={:.0}% goodloss={:.0}% ipc={:+.1}%",
+            100.0*br_pa, 100.0*gl_pa, 100.0*g_pa, 100.0*br_pc, 100.0*gl_pc, 100.0*g_pc
+        );
+    }
+}

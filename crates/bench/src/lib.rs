@@ -1,0 +1,4 @@
+//! Shared experiment-to-table formatting for the `figures` binary and the
+//! Criterion benches. See [`figures`].
+
+pub mod figures;

@@ -1,0 +1,82 @@
+//! `figures` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures [--insts N] [--json DIR] <experiment>...
+//! figures all
+//! ```
+//!
+//! Experiments: `table1 table2 fig1 fig2 fig4 ... fig16 nsp-sdp
+//! cache-vs-table`. Each prints an aligned text table with the same
+//! rows/series as the paper's figure, plus the mean the paper quotes in its
+//! prose. With `--json DIR` the raw reports are also written as JSON.
+
+use ppf_bench::figures;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut insts = ppf_sim::experiments::DEFAULT_INSTRUCTIONS;
+    let mut seeds = 1u32;
+    let mut json_dir: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--insts" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => insts = n,
+                    None => {
+                        eprintln!("--insts needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seeds" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => seeds = n,
+                    _ => {
+                        eprintln!("--seeds needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => json_dir = Some(d.clone()),
+                    None => {
+                        eprintln!("--json needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--insts N] [--seeds K] [--json DIR] <experiment>...");
+                println!("experiments: {}", figures::EXPERIMENTS.join(" "));
+                println!("             all");
+                return ExitCode::SUCCESS;
+            }
+            name => names.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if names.is_empty() {
+        eprintln!("no experiment given; try --help");
+        return ExitCode::FAILURE;
+    }
+    if names.iter().any(|n| n == "all") {
+        names = figures::EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for name in &names {
+        match figures::run_experiment_seeds(name, insts, json_dir.as_deref(), seeds) {
+            Ok(output) => println!("{output}"),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,605 @@
+//! The out-of-order pipeline model.
+//!
+//! Per-cycle phases (in [`Core::tick`]):
+//!
+//! 1. **Retire** — up to `retire_width` completed instructions leave the
+//!    ROB in program order.
+//! 2. **Issue/execute** — any window instruction whose producer's result is
+//!    ready may issue, bounded by `issue_width`, per-cycle ALU slots, and —
+//!    for memory ops — L1 port arbitration through [`MemoryPort`]. A memory
+//!    op denied a port stays in the window and retries next cycle.
+//! 3. **Fetch/dispatch** — up to `fetch_width` instructions enter the ROB
+//!    (and LSQ) unless fetch is squashed by an unresolved mispredicted
+//!    branch; fetch resumes `mispredict_penalty` cycles after the branch
+//!    resolves.
+//!
+//! Software prefetches occupy an LSQ slot and are handed to the memory side
+//! via [`MemoryPort::software_prefetch`] at issue; being non-blocking, they
+//! complete in one cycle and nothing ever depends on them.
+
+use crate::branch::FrontEnd;
+use crate::inst::{InstStream, Op};
+use ppf_types::{Addr, CoreConfig, Cycle, Pc, SimStats};
+use std::collections::VecDeque;
+
+/// The core's window into the memory hierarchy (implemented by `ppf-sim`).
+pub trait MemoryPort {
+    /// Try to start a demand access in cycle `now`. `None` means no L1 port
+    /// was available this cycle (structural hazard: retry next cycle);
+    /// otherwise the cycle the data is ready.
+    fn try_access(&mut self, pc: Pc, addr: Addr, is_store: bool, now: Cycle) -> Option<Cycle>;
+
+    /// Hand a software prefetch (identified in the LSQ) to the prefetch
+    /// machinery. Non-blocking; consumes no L1 port at this point — the
+    /// prefetch queue arbitrates for ports later.
+    fn software_prefetch(&mut self, pc: Pc, addr: Addr, now: Cycle);
+
+    /// Instruction-side access for the fetch of `pc` at cycle `now`:
+    /// returns the cycle the instruction bytes are available (`now` on an
+    /// I-cache hit). Default: a perfect I-cache.
+    fn fetch_access(&mut self, pc: Pc, now: Cycle) -> Cycle {
+        let _ = pc;
+        now
+    }
+}
+
+/// A no-op memory port: every access hits in one cycle. Used by unit tests
+/// and by the "perfect cache" calibration mode.
+#[derive(Debug, Default, Clone)]
+pub struct PerfectMemory;
+
+impl MemoryPort for PerfectMemory {
+    fn try_access(&mut self, _pc: Pc, _addr: Addr, _is_store: bool, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
+    fn software_prefetch(&mut self, _pc: Pc, _addr: Addr, _now: Cycle) {}
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Not yet issued (producer or structural hazard pending).
+    Waiting,
+    /// Issued; the result is ready at `done_at` (retire also waits for it).
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    pc: Pc,
+    op: Op,
+    dep_seq: Option<u64>,
+    stage: Stage,
+    /// Result-ready cycle (valid once Executing/Done).
+    done_at: Cycle,
+    is_mem: bool,
+    /// This entry is a mispredicted branch fetch is waiting on.
+    blocks_fetch: bool,
+}
+
+/// What one call to [`Core::tick`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Instructions retired this cycle.
+    pub retired: u64,
+    /// Memory ops that failed port arbitration this cycle.
+    pub port_rejections: u64,
+}
+
+/// The out-of-order core.
+pub struct Core {
+    cfg: CoreConfig,
+    front: FrontEnd,
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    lsq_used: usize,
+    /// Fetch is stalled until this cycle (mispredict redirect).
+    fetch_resume_at: Cycle,
+    /// Seq of the unresolved mispredicted branch fetch waits on, if any.
+    fetch_blocked_on: Option<u64>,
+    /// An instruction fetched from the stream but not yet dispatched
+    /// (it arrived while the LSQ was full). Streams are consumed exactly
+    /// once, so it is buffered rather than regenerated.
+    pending: Option<crate::inst::Inst>,
+}
+
+impl Core {
+    /// Build a core from its configuration.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        Core {
+            front: FrontEnd::new(&cfg.branch),
+            cfg: cfg.clone(),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            next_seq: 0,
+            lsq_used: 0,
+            fetch_resume_at: 0,
+            fetch_blocked_on: None,
+            pending: None,
+        }
+    }
+
+    /// Current ROB occupancy.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Current LSQ occupancy.
+    pub fn lsq_occupancy(&self) -> usize {
+        self.lsq_used
+    }
+
+    /// Is the producer with sequence number `seq` complete by `now`?
+    fn producer_ready(&self, seq: u64, now: Cycle) -> bool {
+        let front_seq = match self.rob.front() {
+            Some(e) => e.seq,
+            None => return true, // empty ROB: everything older has retired
+        };
+        if seq < front_seq {
+            return true; // already retired
+        }
+        let idx = (seq - front_seq) as usize;
+        match self.rob.get(idx) {
+            Some(e) => e.stage != Stage::Waiting && e.done_at <= now,
+            None => true,
+        }
+    }
+
+    fn retire(&mut self, now: Cycle, stats: &mut SimStats) -> u64 {
+        let mut retired = 0;
+        while retired < self.cfg.retire_width as u64 {
+            match self.rob.front() {
+                Some(e) if e.stage == Stage::Done && e.done_at <= now => {
+                    if e.is_mem {
+                        self.lsq_used -= 1;
+                    }
+                    match e.op {
+                        Op::Load { .. } => stats.loads += 1,
+                        Op::Store { .. } => stats.stores += 1,
+                        Op::Branch { .. } => stats.branches += 1,
+                        _ => {}
+                    }
+                    self.rob.pop_front();
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+        stats.instructions += retired;
+        retired
+    }
+
+    fn issue(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> u64 {
+        let mut issued = 0usize;
+        let mut int_slots = self.cfg.int_alus;
+        let mut fp_slots = self.cfg.fp_alus;
+        let mut rejections = 0u64;
+        let mut resolved_block: Option<u64> = None;
+
+        for i in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let entry = self.rob[i];
+            if entry.stage != Stage::Waiting {
+                continue;
+            }
+            if let Some(dep) = entry.dep_seq {
+                if !self.producer_ready(dep, now) {
+                    continue;
+                }
+            }
+            let done_at = match entry.op {
+                Op::IntAlu => {
+                    if int_slots == 0 {
+                        continue;
+                    }
+                    int_slots -= 1;
+                    now + self.cfg.int_latency
+                }
+                Op::FpAlu => {
+                    if fp_slots == 0 {
+                        continue;
+                    }
+                    fp_slots -= 1;
+                    now + self.cfg.fp_latency
+                }
+                Op::Branch { .. } => {
+                    if int_slots == 0 {
+                        continue;
+                    }
+                    int_slots -= 1;
+                    let done = now + self.cfg.int_latency;
+                    if entry.blocks_fetch {
+                        resolved_block = Some(entry.seq);
+                        self.fetch_resume_at = done + self.front.mispredict_penalty;
+                    }
+                    done
+                }
+                Op::Load { addr } | Op::Store { addr } => {
+                    let is_store = matches!(entry.op, Op::Store { .. });
+                    match mem.try_access(entry.pc, addr, is_store, now) {
+                        Some(ready) => ready,
+                        None => {
+                            rejections += 1;
+                            continue; // structural hazard: retry next cycle
+                        }
+                    }
+                }
+                Op::SoftPrefetch { addr } => {
+                    mem.software_prefetch(entry.pc, addr, now);
+                    now + 1
+                }
+            };
+            let e = &mut self.rob[i];
+            e.stage = Stage::Done;
+            e.done_at = done_at;
+            issued += 1;
+        }
+        if let Some(seq) = resolved_block {
+            if self.fetch_blocked_on == Some(seq) {
+                self.fetch_blocked_on = None;
+            }
+        }
+        rejections
+    }
+
+    fn fetch(
+        &mut self,
+        now: Cycle,
+        stream: &mut dyn InstStream,
+        mem: &mut dyn MemoryPort,
+        stats: &mut SimStats,
+    ) {
+        if self.fetch_blocked_on.is_some() || now < self.fetch_resume_at {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let inst = match self.pending.take() {
+                Some(i) => i,
+                None => stream.next_inst(),
+            };
+            if inst.op.is_mem() && self.lsq_used >= self.cfg.lsq_entries {
+                // LSQ full: hold the instruction and stall fetch this cycle.
+                self.pending = Some(inst);
+                break;
+            }
+            // Instruction-side access: an I-cache miss stalls fetch until
+            // the line arrives from the unified L2 (or memory).
+            let bytes_at = mem.fetch_access(inst.pc, now);
+            if bytes_at > now {
+                self.pending = Some(inst);
+                self.fetch_resume_at = self.fetch_resume_at.max(bytes_at);
+                break;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut blocks_fetch = false;
+            if let Op::Branch { taken, target } = inst.op {
+                let correct = self.front.predict_and_train(inst.pc, taken, target);
+                if !correct {
+                    stats.branch_mispredicts += 1;
+                    blocks_fetch = true;
+                }
+            }
+            if inst.op.is_mem() {
+                self.lsq_used += 1;
+            }
+            let dep_seq = if inst.dep == 0 {
+                None
+            } else {
+                seq.checked_sub(inst.dep as u64)
+            };
+            self.rob.push_back(RobEntry {
+                seq,
+                pc: inst.pc,
+                op: inst.op,
+                dep_seq,
+                stage: Stage::Waiting,
+                done_at: 0,
+                is_mem: inst.op.is_mem(),
+                blocks_fetch,
+            });
+            if blocks_fetch {
+                self.fetch_blocked_on = Some(seq);
+                break; // wrong-path fetch is not modelled
+            }
+        }
+    }
+
+    /// Advance the core by one cycle.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        stream: &mut dyn InstStream,
+        mem: &mut dyn MemoryPort,
+        stats: &mut SimStats,
+    ) -> TickOutcome {
+        let retired = self.retire(now, stats);
+        let port_rejections = self.issue(now, mem);
+        self.fetch(now, stream, mem, stats);
+        TickOutcome {
+            retired,
+            port_rejections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn core() -> Core {
+        Core::new(&CoreConfig::default())
+    }
+
+    /// Run `n` instructions through the core with `mem`, returning stats.
+    fn run(
+        core: &mut Core,
+        stream: &mut dyn InstStream,
+        mem: &mut dyn MemoryPort,
+        n: u64,
+    ) -> SimStats {
+        let mut stats = SimStats::default();
+        let mut now = 0;
+        while stats.instructions < n {
+            core.tick(now, stream, mem, &mut stats);
+            now += 1;
+            assert!(now < 10_000_000, "runaway simulation");
+        }
+        stats.cycles = now;
+        stats
+    }
+
+    #[test]
+    fn independent_alu_stream_reaches_wide_ipc() {
+        let mut c = core();
+        let mut pc = 0u64;
+        let mut stream = move || {
+            pc += 4;
+            Inst::new(pc, Op::IntAlu)
+        };
+        let stats = run(&mut c, &mut stream, &mut PerfectMemory, 10_000);
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        assert!(ipc > 4.0, "independent ALU ops should flow wide, ipc={ipc}");
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc_to_one() {
+        let mut c = core();
+        let mut pc = 0u64;
+        let mut stream = move || {
+            pc += 4;
+            Inst::with_dep(pc, Op::IntAlu, 1)
+        };
+        let stats = run(&mut c, &mut stream, &mut PerfectMemory, 5_000);
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        assert!(ipc <= 1.05, "1-deep chain cannot exceed IPC 1, ipc={ipc}");
+        assert!(ipc > 0.8, "but should approach 1, ipc={ipc}");
+    }
+
+    #[test]
+    fn fp_latency_slows_chains() {
+        let mut c = core();
+        let mut pc = 0u64;
+        let mut stream = move || {
+            pc += 4;
+            Inst::with_dep(pc, Op::FpAlu, 1)
+        };
+        let stats = run(&mut c, &mut stream, &mut PerfectMemory, 2_000);
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        // 4-cycle FP chain: IPC ~ 0.25.
+        assert!(ipc < 0.3, "ipc={ipc}");
+    }
+
+    /// Memory port that rejects every other access and completes after a
+    /// fixed latency.
+    struct FlakyMemory {
+        latency: u64,
+        count: u64,
+    }
+    impl MemoryPort for FlakyMemory {
+        fn try_access(&mut self, _pc: Pc, _a: Addr, _s: bool, now: Cycle) -> Option<Cycle> {
+            self.count += 1;
+            if self.count.is_multiple_of(2) {
+                None
+            } else {
+                Some(now + self.latency)
+            }
+        }
+        fn software_prefetch(&mut self, _pc: Pc, _a: Addr, _now: Cycle) {}
+    }
+
+    #[test]
+    fn port_rejections_cause_retries_not_loss() {
+        let mut c = core();
+        let mut pc = 0u64;
+        let mut stream = move || {
+            pc += 4;
+            Inst::new(pc, Op::Load { addr: pc * 8 })
+        };
+        let mut mem = FlakyMemory {
+            latency: 1,
+            count: 0,
+        };
+        let stats = run(&mut c, &mut stream, &mut mem, 1_000);
+        // Wide retirement can overshoot the threshold by up to a group.
+        assert!(stats.loads >= 1_000, "every load eventually issues");
+        assert_eq!(stats.loads, stats.instructions, "loads only, none lost");
+    }
+
+    #[test]
+    fn memory_latency_shows_in_load_use_chains() {
+        // load -> dependent alu -> load ... with 20-cycle memory.
+        struct SlowMem;
+        impl MemoryPort for SlowMem {
+            fn try_access(&mut self, _pc: Pc, _a: Addr, _s: bool, now: Cycle) -> Option<Cycle> {
+                Some(now + 20)
+            }
+            fn software_prefetch(&mut self, _p: Pc, _a: Addr, _n: Cycle) {}
+        }
+        let mut c = core();
+        let mut i = 0u64;
+        let mut stream = move || {
+            i += 1;
+            if i.is_multiple_of(2) {
+                Inst::with_dep(i * 4, Op::IntAlu, 1)
+            } else {
+                Inst::with_dep(i * 4, Op::Load { addr: i * 64 }, 1)
+            }
+        };
+        let stats = run(&mut c, &mut stream, &mut SlowMem, 1_000);
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        assert!(ipc < 0.15, "serialized 20-cycle loads dominate, ipc={ipc}");
+    }
+
+    #[test]
+    fn mispredicted_branches_stall_fetch() {
+        // Alternating taken/not-taken defeats the bimodal predictor.
+        let mut c = core();
+        let mut i = 0u64;
+        let mut stream = move || {
+            i += 1;
+            if i.is_multiple_of(4) {
+                Inst::new(
+                    0x100,
+                    Op::Branch {
+                        taken: i.is_multiple_of(8),
+                        target: 0x900,
+                    },
+                )
+            } else {
+                Inst::new(i * 4 + 0x1000, Op::IntAlu)
+            }
+        };
+        let stats = run(&mut c, &mut stream, &mut PerfectMemory, 8_000);
+        assert!(
+            stats.branch_mispredicts > 500,
+            "{}",
+            stats.branch_mispredicts
+        );
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        // Each mispredict costs ~8 cycles on a 4-instruction gap.
+        assert!(ipc < 3.0, "mispredicts must hurt, ipc={ipc}");
+    }
+
+    #[test]
+    fn well_predicted_branches_are_cheap() {
+        let mut c = core();
+        let mut i = 0u64;
+        let mut stream = move || {
+            i += 1;
+            if i.is_multiple_of(4) {
+                // Always taken to a fixed target: perfectly predictable.
+                Inst::new(
+                    0x100,
+                    Op::Branch {
+                        taken: true,
+                        target: 0x900,
+                    },
+                )
+            } else {
+                Inst::new(i * 4 + 0x1000, Op::IntAlu)
+            }
+        };
+        let stats = run(&mut c, &mut stream, &mut PerfectMemory, 8_000);
+        assert!(stats.branch_mispredicts < 10);
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        assert!(
+            ipc > 4.0,
+            "predictable branches should not stall, ipc={ipc}"
+        );
+    }
+
+    #[test]
+    fn software_prefetch_is_nonblocking_and_counted_via_port() {
+        struct CountPf(u64);
+        impl MemoryPort for CountPf {
+            fn try_access(&mut self, _p: Pc, _a: Addr, _s: bool, now: Cycle) -> Option<Cycle> {
+                Some(now + 1)
+            }
+            fn software_prefetch(&mut self, _p: Pc, _a: Addr, _n: Cycle) {
+                self.0 += 1;
+            }
+        }
+        let mut c = core();
+        let mut i = 0u64;
+        let mut stream = move || {
+            i += 1;
+            if i.is_multiple_of(10) {
+                Inst::new(i * 4, Op::SoftPrefetch { addr: i * 32 })
+            } else {
+                Inst::new(i * 4, Op::IntAlu)
+            }
+        };
+        let mut mem = CountPf(0);
+        let stats = run(&mut c, &mut stream, &mut mem, 1_000);
+        assert_eq!(mem.0, 100);
+        let ipc = stats.instructions as f64 / stats.cycles as f64;
+        assert!(ipc > 4.0, "prefetches must not stall the pipe, ipc={ipc}");
+    }
+
+    #[test]
+    fn rob_and_lsq_occupancy_bounded() {
+        struct NeverReady;
+        impl MemoryPort for NeverReady {
+            fn try_access(&mut self, _p: Pc, _a: Addr, _s: bool, _n: Cycle) -> Option<Cycle> {
+                None
+            }
+            fn software_prefetch(&mut self, _p: Pc, _a: Addr, _n: Cycle) {}
+        }
+        let cfg = CoreConfig::default();
+        let mut c = Core::new(&cfg);
+        let mut i = 0u64;
+        let mut stream = move || {
+            i += 1;
+            Inst::new(i * 4, Op::Load { addr: i * 64 })
+        };
+        let mut stats = SimStats::default();
+        for now in 0..1000 {
+            c.tick(now, &mut stream, &mut NeverReady, &mut stats);
+            assert!(c.rob_occupancy() <= cfg.rob_entries);
+            assert!(c.lsq_occupancy() <= cfg.lsq_entries);
+        }
+        assert_eq!(stats.instructions, 0, "nothing can retire");
+        assert_eq!(c.lsq_occupancy(), cfg.lsq_entries, "LSQ fills and holds");
+    }
+
+    #[test]
+    fn retire_is_in_order() {
+        // A slow load followed by fast ALUs: nothing retires before the load.
+        struct SlowOnce {
+            used: bool,
+        }
+        impl MemoryPort for SlowOnce {
+            fn try_access(&mut self, _p: Pc, _a: Addr, _s: bool, now: Cycle) -> Option<Cycle> {
+                if self.used {
+                    Some(now + 1)
+                } else {
+                    self.used = true;
+                    Some(now + 100)
+                }
+            }
+            fn software_prefetch(&mut self, _p: Pc, _a: Addr, _n: Cycle) {}
+        }
+        let mut c = core();
+        let mut i = 0u64;
+        let mut stream = move || {
+            i += 1;
+            if i == 1 {
+                Inst::new(4, Op::Load { addr: 64 })
+            } else {
+                Inst::new(i * 4, Op::IntAlu)
+            }
+        };
+        let mut mem = SlowOnce { used: false };
+        let mut stats = SimStats::default();
+        for now in 0..50 {
+            c.tick(now, &mut stream, &mut mem, &mut stats);
+        }
+        assert_eq!(stats.instructions, 0, "head-of-ROB load blocks retirement");
+    }
+}

@@ -1,0 +1,31 @@
+//! Cycle-driven out-of-order core timing model.
+//!
+//! A simplified `sim-outorder`-class core with the structures Table 1 of the
+//! paper specifies: 8-wide fetch/issue/retire, a 128-entry reorder buffer, a
+//! 64-entry load/store queue, a bimodal branch predictor with a 4-way BTB,
+//! and universal L1 ports (owned by the memory side and exposed through the
+//! [`MemoryPort`] trait, so the core crate stays independent of `ppf-mem`).
+//!
+//! The model captures the hazards the paper's results depend on:
+//!
+//! * **structural** — ROB/LSQ occupancy, per-cycle ALU slots, and L1 port
+//!   rejection (a memory op that loses arbitration retries next cycle, so
+//!   prefetch traffic steals demand bandwidth exactly as in §5.4);
+//! * **data** — each instruction may depend on a recent producer and issues
+//!   only once that producer's result is ready (load-use latency!);
+//! * **control** — mispredicted branches stall fetch until they resolve
+//!   plus a redirect penalty.
+//!
+//! It deliberately does not rename registers or replay memory ordering —
+//! the paper's figures measure the *memory subsystem*, and all results are
+//! relative to the same core model.
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod core;
+pub mod inst;
+
+pub use crate::core::{Core, MemoryPort, TickOutcome};
+pub use branch::{BranchPredictor, Btb};
+pub use inst::{Inst, InstStream, Op};

@@ -1,0 +1,147 @@
+//! Adaptive filter engagement (§5.2.1, "advanced features").
+//!
+//! The paper observes that filtering a *high-accuracy* prefetcher (SDP with
+//! its 11.7 good/bad ratio) costs more good prefetches than it saves, and
+//! suggests the filter "can be made adaptive to start filtering when the
+//! prefetching becomes too aggressive (with low accuracy)". This gate
+//! estimates recent prefetch accuracy over a sliding window of eviction
+//! outcomes and only engages the filter while accuracy is below a threshold
+//! — with hysteresis so it does not flap at the boundary.
+
+/// Sliding-window accuracy estimator with hysteresis.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGate {
+    /// Engage filtering when accuracy drops below this.
+    engage_below: f64,
+    /// Disengage when accuracy recovers above this (threshold + margin).
+    disengage_above: f64,
+    window: u32,
+    good_in_window: u32,
+    seen_in_window: u32,
+    /// Running totals carried between windows (exponentially aged).
+    accuracy: f64,
+    engaged: bool,
+    warmed_up: bool,
+}
+
+impl AdaptiveGate {
+    /// Hysteresis margin added to the engage threshold for disengagement.
+    const HYSTERESIS: f64 = 0.05;
+
+    /// A gate that engages filtering when windowed accuracy `< threshold`.
+    pub fn new(threshold: f64, window: u32) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        assert!(window > 0);
+        AdaptiveGate {
+            engage_below: threshold,
+            disengage_above: (threshold + Self::HYSTERESIS).min(1.0),
+            window,
+            good_in_window: 0,
+            seen_in_window: 0,
+            accuracy: 1.0,
+            engaged: false,
+            warmed_up: false,
+        }
+    }
+
+    /// Whether the filter should currently be applied.
+    #[inline]
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Most recent windowed accuracy estimate (1.0 before warm-up).
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Record one eviction outcome (RIB value).
+    pub fn observe(&mut self, good: bool) {
+        self.seen_in_window += 1;
+        if good {
+            self.good_in_window += 1;
+        }
+        if self.seen_in_window >= self.window {
+            let fresh = self.good_in_window as f64 / self.seen_in_window as f64;
+            // Blend with history so one window cannot whipsaw the gate.
+            self.accuracy = if self.warmed_up {
+                0.5 * self.accuracy + 0.5 * fresh
+            } else {
+                fresh
+            };
+            self.warmed_up = true;
+            self.good_in_window = 0;
+            self.seen_in_window = 0;
+            if self.engaged {
+                if self.accuracy > self.disengage_above {
+                    self.engaged = false;
+                }
+            } else if self.accuracy < self.engage_below {
+                self.engaged = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_disengaged() {
+        let g = AdaptiveGate::new(0.5, 8);
+        assert!(!g.engaged());
+        assert_eq!(g.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn engages_on_low_accuracy() {
+        let mut g = AdaptiveGate::new(0.5, 8);
+        for _ in 0..8 {
+            g.observe(false);
+        }
+        assert!(g.engaged(), "all-bad window must engage the filter");
+        assert!(g.accuracy() < 0.5);
+    }
+
+    #[test]
+    fn stays_disengaged_on_high_accuracy() {
+        let mut g = AdaptiveGate::new(0.5, 8);
+        for _ in 0..64 {
+            g.observe(true);
+        }
+        assert!(!g.engaged());
+    }
+
+    #[test]
+    fn disengages_after_recovery_with_hysteresis() {
+        let mut g = AdaptiveGate::new(0.5, 4);
+        for _ in 0..8 {
+            g.observe(false);
+        }
+        assert!(g.engaged());
+        // Recovery: needs accuracy above threshold + margin, and the
+        // blending means several good windows are required.
+        for _ in 0..32 {
+            g.observe(true);
+        }
+        assert!(!g.engaged(), "sustained accuracy disengages the gate");
+    }
+
+    #[test]
+    fn partial_window_does_not_update() {
+        let mut g = AdaptiveGate::new(0.5, 100);
+        for _ in 0..99 {
+            g.observe(false);
+        }
+        assert!(!g.engaged(), "window not yet complete");
+        g.observe(false);
+        assert!(g.engaged());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        AdaptiveGate::new(0.5, 0);
+    }
+}

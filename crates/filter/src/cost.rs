@@ -1,0 +1,220 @@
+//! Hardware cost accounting for the filter designs.
+//!
+//! §5.3 and §6 of the paper argue the filter's economy: "the history table
+//! size can be kept small (1KB or 512B ...) while the overhead for the L1
+//! cache is very insignificant as the flags for enabling other hardware
+//! prefetching algorithms can be reused". This module makes that argument
+//! checkable: given a [`FilterConfig`] and the cache geometry, it itemizes
+//! every bit of storage the design adds, so ablations can report benefit
+//! *per bit* rather than benefit alone.
+
+use ppf_types::{CacheConfig, FilterConfig, FilterKind, PrefetchSource};
+
+/// Itemized storage cost of a pollution-filter design, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterCost {
+    /// History table counters (entries × width, over all tables).
+    pub history_table_bits: u64,
+    /// PIB storage: 1 bit per L1 line. The paper notes NSP/SDP already
+    /// carry an equivalent bit, so this is usually *shared*, not added.
+    pub pib_bits: u64,
+    /// RIB storage: 1 bit per L1 line (shared with SDP's reference bit).
+    pub rib_bits: u64,
+    /// Provenance routing for the PC-based filter: the trigger PC carried
+    /// per L1 line so eviction feedback can index the table (the paper's
+    /// "separate data path"). Zero for PA, which reuses the line address.
+    pub provenance_bits: u64,
+    /// Reject-log storage for misprediction recovery (line number + key +
+    /// stamp per slot). Zero when recovery is disabled.
+    pub reject_log_bits: u64,
+}
+
+/// Bits kept per reject-log slot: a 26-bit line number (suffices for a
+/// 64-bit space after set-sampling, as victim buffers do), a 12-bit table
+/// key, a 9-bit coarse timestamp, and a valid bit.
+const REJECT_SLOT_BITS: u64 = 26 + 12 + 9 + 1;
+
+/// PC bits carried per line for PC-based feedback (folded to the table
+/// index width plus tag slack).
+const PROVENANCE_PC_BITS: u64 = 16;
+
+impl FilterCost {
+    /// Cost of `cfg` on a machine with L1 `l1` (reject-log size from
+    /// `reject_entries`, normally `recovery::DEFAULT_REJECT_LOG`).
+    pub fn of(cfg: &FilterConfig, l1: &CacheConfig, reject_entries: usize) -> Self {
+        if cfg.kind == FilterKind::None {
+            return FilterCost {
+                history_table_bits: 0,
+                pib_bits: 0,
+                rib_bits: 0,
+                provenance_bits: 0,
+                reject_log_bits: 0,
+            };
+        }
+        let tables = if cfg.split_by_source {
+            PrefetchSource::COUNT as u64
+        } else {
+            1
+        };
+        let per_table_entries = if cfg.split_by_source {
+            ((cfg.table_entries / PrefetchSource::COUNT).next_power_of_two()).max(64) as u64
+        } else {
+            cfg.table_entries as u64
+        };
+        let lines = l1.lines() as u64;
+        FilterCost {
+            history_table_bits: tables * per_table_entries * cfg.counter_bits as u64,
+            pib_bits: lines,
+            rib_bits: lines,
+            provenance_bits: if cfg.kind == FilterKind::Pc {
+                lines * PROVENANCE_PC_BITS
+            } else {
+                0
+            },
+            reject_log_bits: if cfg.recovery_window > 0 {
+                reject_entries as u64 * REJECT_SLOT_BITS
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Total added bits, counting PIB/RIB as shared with the prefetchers
+    /// (the paper's accounting).
+    pub fn total_bits_shared(&self) -> u64 {
+        self.history_table_bits + self.provenance_bits + self.reject_log_bits
+    }
+
+    /// Total added bits if PIB/RIB could not be shared.
+    pub fn total_bits_standalone(&self) -> u64 {
+        self.total_bits_shared() + self.pib_bits + self.rib_bits
+    }
+
+    /// Convenience: shared total in bytes.
+    pub fn total_bytes_shared(&self) -> u64 {
+        self.total_bits_shared().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_types::SystemConfig;
+
+    fn l1() -> CacheConfig {
+        SystemConfig::paper_default().l1
+    }
+
+    #[test]
+    fn none_filter_costs_nothing() {
+        let cfg = FilterConfig {
+            kind: FilterKind::None,
+            ..FilterConfig::default()
+        };
+        let c = FilterCost::of(&cfg, &l1(), 4096);
+        assert_eq!(c.total_bits_standalone(), 0);
+    }
+
+    #[test]
+    fn paper_table_is_1kb() {
+        let cfg = FilterConfig {
+            kind: FilterKind::Pa,
+            recovery_window: 0, // the paper's strict accounting
+            ..FilterConfig::default()
+        };
+        let c = FilterCost::of(&cfg, &l1(), 4096);
+        assert_eq!(c.history_table_bits, 4096 * 2);
+        assert_eq!(c.history_table_bits / 8, 1024, "Table 1's 1KB");
+        // PA needs no per-line PC routing.
+        assert_eq!(c.provenance_bits, 0);
+        // PIB/RIB are one bit per line each.
+        assert_eq!(c.pib_bits, 256);
+        assert_eq!(c.rib_bits, 256);
+        // Shared accounting (the paper's): just the table.
+        assert_eq!(c.total_bytes_shared(), 1024);
+    }
+
+    #[test]
+    fn pc_filter_pays_for_provenance() {
+        let pa = FilterCost::of(
+            &FilterConfig {
+                kind: FilterKind::Pa,
+                ..FilterConfig::default()
+            },
+            &l1(),
+            4096,
+        );
+        let pc = FilterCost::of(
+            &FilterConfig {
+                kind: FilterKind::Pc,
+                ..FilterConfig::default()
+            },
+            &l1(),
+            4096,
+        );
+        assert!(pc.provenance_bits > 0);
+        assert!(pc.total_bits_shared() > pa.total_bits_shared());
+    }
+
+    #[test]
+    fn split_tables_cost_the_same_budget() {
+        let shared = FilterCost::of(
+            &FilterConfig {
+                kind: FilterKind::Pa,
+                ..FilterConfig::default()
+            },
+            &l1(),
+            4096,
+        );
+        let split = FilterCost::of(
+            &FilterConfig {
+                kind: FilterKind::Pa,
+                split_by_source: true,
+                ..FilterConfig::default()
+            },
+            &l1(),
+            4096,
+        );
+        assert_eq!(
+            shared.history_table_bits, split.history_table_bits,
+            "4 x 1024 x 2 bits == 1 x 4096 x 2 bits"
+        );
+    }
+
+    #[test]
+    fn recovery_cost_is_itemized() {
+        let strict = FilterCost::of(
+            &FilterConfig {
+                kind: FilterKind::Pa,
+                recovery_window: 0,
+                ..FilterConfig::default()
+            },
+            &l1(),
+            4096,
+        );
+        let recovering = FilterCost::of(
+            &FilterConfig {
+                kind: FilterKind::Pa,
+                ..FilterConfig::default()
+            },
+            &l1(),
+            4096,
+        );
+        assert_eq!(strict.reject_log_bits, 0);
+        assert_eq!(recovering.reject_log_bits, 4096 * REJECT_SLOT_BITS);
+        assert!(recovering.total_bits_shared() > strict.total_bits_shared());
+    }
+
+    #[test]
+    fn bigger_l1_scales_per_line_costs() {
+        let cfg = FilterConfig {
+            kind: FilterKind::Pc,
+            ..FilterConfig::default()
+        };
+        let small = FilterCost::of(&cfg, &l1(), 4096);
+        let big = FilterCost::of(&cfg, &SystemConfig::paper_default().with_l1_32k().l1, 4096);
+        assert_eq!(big.pib_bits, 4 * small.pib_bits);
+        assert_eq!(big.provenance_bits, 4 * small.provenance_bits);
+        assert_eq!(big.history_table_bits, small.history_table_bits);
+    }
+}

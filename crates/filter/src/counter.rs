@@ -1,0 +1,195 @@
+//! Saturating counters — the history table's storage element.
+//!
+//! The paper uses 2-bit saturating counters with "the same lookup and
+//! update operations ... as those for branch predictors" (§4): increment on
+//! a good outcome, decrement on a bad one, saturate at both ends, and
+//! predict by the top half of the range. Width is configurable for the
+//! counter-width ablation bench.
+
+/// A saturating counter of `bits` width (1..=8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// A counter of `bits` width starting at `initial` (clamped to range).
+    pub fn new(bits: u8, initial: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8");
+        let max = if bits == 8 {
+            u8::MAX
+        } else {
+            (1u8 << bits) - 1
+        };
+        SatCounter {
+            value: initial.min(max),
+            max,
+        }
+    }
+
+    /// The paper's 2-bit counter initialized weakly-good, so never-seen
+    /// prefetches are issued.
+    pub fn weakly_good(bits: u8) -> Self {
+        let max = if bits == 8 {
+            u8::MAX
+        } else {
+            (1u8 << bits) - 1
+        };
+        // Lowest value that still predicts good: e.g. 2 for 2-bit counters.
+        SatCounter::new(bits, max / 2 + 1)
+    }
+
+    /// Saturated-good initialization (ablation).
+    pub fn strongly_good(bits: u8) -> Self {
+        SatCounter::new(bits, u8::MAX)
+    }
+
+    /// Highest value that still predicts bad (ablation): unseen prefetches
+    /// are rejected until proven useful.
+    pub fn weakly_bad(bits: u8) -> Self {
+        let max = if bits == 8 {
+            u8::MAX
+        } else {
+            (1u8 << bits) - 1
+        };
+        SatCounter::new(bits, max / 2)
+    }
+
+    /// Current raw value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Saturation maximum.
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Predicts "good" when in the upper half of the range (like a taken
+    /// branch prediction).
+    #[inline]
+    pub fn predicts_good(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Strengthen (good outcome), saturating at the top.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Weaken (bad outcome), saturating at zero.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Apply one training outcome.
+    #[inline]
+    pub fn train(&mut self, good: bool) {
+        if good {
+            self.increment();
+        } else {
+            self.decrement();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_state_machine() {
+        // Classic bimodal: 0,1 predict bad; 2,3 predict good.
+        let mut c = SatCounter::new(2, 0);
+        assert!(!c.predicts_good());
+        c.increment();
+        assert_eq!(c.value(), 1);
+        assert!(!c.predicts_good());
+        c.increment();
+        assert!(c.predicts_good());
+        c.increment();
+        assert_eq!(c.value(), 3);
+        c.increment();
+        assert_eq!(c.value(), 3, "saturates at 3");
+        c.decrement();
+        c.decrement();
+        assert!(!c.predicts_good());
+        c.decrement();
+        c.decrement();
+        assert_eq!(c.value(), 0, "saturates at 0");
+    }
+
+    #[test]
+    fn weakly_good_starts_predicting_good() {
+        for bits in 1..=8 {
+            let c = SatCounter::weakly_good(bits);
+            assert!(c.predicts_good(), "width {bits}");
+            // One bad outcome flips a weakly-good counter to not-good
+            // (for widths >= 2; a 1-bit counter flips too).
+            let mut c2 = c;
+            c2.decrement();
+            if bits <= 2 {
+                assert!(!c2.predicts_good(), "width {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn init_variants() {
+        for bits in 1..=8 {
+            assert!(SatCounter::strongly_good(bits).predicts_good());
+            assert!(!SatCounter::weakly_bad(bits).predicts_good());
+            // Weakly-bad is one step below the threshold.
+            let mut c = SatCounter::weakly_bad(bits);
+            c.increment();
+            assert!(c.predicts_good(), "width {bits}");
+        }
+    }
+
+    #[test]
+    fn one_bit_counter() {
+        let mut c = SatCounter::new(1, 1);
+        assert!(c.predicts_good());
+        c.train(false);
+        assert!(!c.predicts_good());
+        c.train(true);
+        assert!(c.predicts_good());
+    }
+
+    #[test]
+    fn initial_clamped_to_range() {
+        let c = SatCounter::new(2, 200);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn eight_bit_counter_saturates_at_255() {
+        let mut c = SatCounter::new(8, 254);
+        c.increment();
+        c.increment();
+        assert_eq!(c.value(), 255);
+        assert!(c.predicts_good());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        SatCounter::new(0, 0);
+    }
+
+    #[test]
+    fn hysteresis_needs_two_flips_from_saturation() {
+        let mut c = SatCounter::new(2, 3);
+        c.train(false);
+        assert!(c.predicts_good(), "strongly-good survives one bad outcome");
+        c.train(false);
+        assert!(!c.predicts_good());
+    }
+}

@@ -1,0 +1,80 @@
+//! Hash/fold functions that map a line address or PC onto the history table.
+//!
+//! Hardware history tables index with a few low-order bits, usually after
+//! XOR-folding higher bits down to decorrelate strided patterns. We fold the
+//! full 64-bit key in 16-bit halves — cheap in hardware (a tree of XORs) and
+//! enough to spread Table 2's working sets across a 4K-entry table. The
+//! table applies its own power-of-two mask to the returned value.
+
+use ppf_types::{LineAddr, Pc};
+
+/// XOR-fold a 64-bit value to 16 bits. Keeps low bits dominant (hardware
+/// tables index with low bits) while mixing in upper address bits so that
+/// large strides do not alias trivially.
+#[inline]
+pub fn fold16(v: u64) -> u64 {
+    let v = v ^ (v >> 16) ^ (v >> 32) ^ (v >> 48);
+    v & 0xffff
+}
+
+/// Index key for the PA-based filter: the cache-line address, folded.
+#[inline]
+pub fn hash_line(line: LineAddr) -> u64 {
+    fold16(line.0)
+}
+
+/// Index key for the PC-based filter: the trigger PC with the instruction
+/// alignment bits stripped (instructions are 4 bytes), folded.
+#[inline]
+pub fn hash_pc(pc: Pc) -> u64 {
+    fold16(pc >> 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_fits_16_bits() {
+        for v in [0u64, 1, 0xffff, 0x10000, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert!(fold16(v) <= 0xffff);
+        }
+    }
+
+    #[test]
+    fn fold_is_deterministic() {
+        assert_eq!(fold16(0x1234_5678_9abc_def0), fold16(0x1234_5678_9abc_def0));
+    }
+
+    #[test]
+    fn nearby_lines_do_not_collide() {
+        // Sequential lines must map to distinct entries — otherwise the
+        // PA filter could not distinguish a stream's members.
+        let base = 0x40_0000u64;
+        let keys: Vec<u64> = (0..256).map(|i| hash_line(LineAddr(base + i))).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn pc_alignment_bits_are_stripped() {
+        // PCs advance by 4; adjacent instructions must hash differently,
+        // while the 2 low (always-zero) bits must not waste index space.
+        assert_ne!(hash_pc(0x1000), hash_pc(0x1004));
+        let keys: Vec<u64> = (0..512).map(|i| hash_pc(0x1000 + 4 * i)).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "sequential PCs should not alias");
+    }
+
+    #[test]
+    fn high_bits_affect_hash() {
+        // Two lines 2^32 apart must not always collide.
+        let a = hash_line(LineAddr(0x1000));
+        let b = hash_line(LineAddr(0x1000 + (1 << 32)));
+        assert_ne!(a, b);
+    }
+}

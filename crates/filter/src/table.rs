@@ -1,0 +1,195 @@
+//! The single-level history table (§4, Figure 3).
+//!
+//! A direct-indexed array of saturating counters. 4096 2-bit entries = 1KB,
+//! the paper's default; §5.3 sweeps 1024 to 16384 entries. Counters are
+//! stored as raw `u8`s in a flat boxed slice — the hot path is a masked
+//! index plus a byte compare, no hashing beyond the fold done by the caller
+//! and no allocation.
+
+use crate::counter::SatCounter;
+use ppf_types::CounterInit;
+
+/// Direct-indexed table of saturating counters.
+#[derive(Debug, Clone)]
+pub struct HistoryTable {
+    counters: Box<[u8]>,
+    mask: u64,
+    bits: u8,
+    max: u8,
+    /// Threshold: values strictly above predict good.
+    threshold: u8,
+}
+
+impl HistoryTable {
+    /// A table of `entries` counters (power of two) of `bits` width, all
+    /// initialized weakly-good so unseen prefetches are issued (the
+    /// paper's configuration).
+    pub fn new(entries: usize, bits: u8) -> Self {
+        Self::with_init(entries, bits, CounterInit::WeaklyGood)
+    }
+
+    /// A table with an explicit initial counter state (ablation).
+    pub fn with_init(entries: usize, bits: u8, init: CounterInit) -> Self {
+        assert!(entries.is_power_of_two(), "table entries must be 2^k");
+        assert!((1..=8).contains(&bits));
+        let init = match init {
+            CounterInit::WeaklyGood => SatCounter::weakly_good(bits),
+            CounterInit::StronglyGood => SatCounter::strongly_good(bits),
+            CounterInit::WeaklyBad => SatCounter::weakly_bad(bits),
+        };
+        HistoryTable {
+            counters: vec![init.value(); entries].into_boxed_slice(),
+            mask: (entries - 1) as u64,
+            bits,
+            max: init.max(),
+            threshold: init.max() / 2,
+        }
+    }
+
+    /// Entry count.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Counter width in bits.
+    pub fn counter_bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Table size in bytes (entries × width / 8) — what Table 1 reports.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * self.bits as usize / 8
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        (key & self.mask) as usize
+    }
+
+    /// Does the counter for `key` predict a good prefetch?
+    #[inline]
+    pub fn predict_good(&self, key: u64) -> bool {
+        self.counters[self.slot(key)] > self.threshold
+    }
+
+    /// Raw counter value for `key` (tests/introspection).
+    pub fn value(&self, key: u64) -> u8 {
+        self.counters[self.slot(key)]
+    }
+
+    /// Train the counter for `key` with one outcome.
+    #[inline]
+    pub fn train(&mut self, key: u64, good: bool) {
+        let slot = self.slot(key);
+        let v = self.counters[slot];
+        self.counters[slot] = if good {
+            if v < self.max {
+                v + 1
+            } else {
+                v
+            }
+        } else {
+            v.saturating_sub(1)
+        };
+    }
+
+    /// Fraction of entries currently predicting good (diagnostics).
+    pub fn fraction_good(&self) -> f64 {
+        let good = self
+            .counters
+            .iter()
+            .filter(|&&v| v > self.threshold)
+            .count();
+        good as f64 / self.counters.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_predicts_all_good() {
+        let t = HistoryTable::new(1024, 2);
+        assert!((t.fraction_good() - 1.0).abs() < 1e-12);
+        for key in [0u64, 5, 1023, 1024, u64::MAX] {
+            assert!(t.predict_good(key));
+        }
+    }
+
+    #[test]
+    fn paper_default_is_1kb() {
+        let t = HistoryTable::new(4096, 2);
+        assert_eq!(t.size_bytes(), 1024);
+    }
+
+    #[test]
+    fn section_5_3_sizes() {
+        // 1024 entries = 256B ... 16384 entries = 4KB (paper §5.3).
+        for (entries, bytes) in [
+            (1024, 256),
+            (2048, 512),
+            (4096, 1024),
+            (8192, 2048),
+            (16384, 4096),
+        ] {
+            assert_eq!(HistoryTable::new(entries, 2).size_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn init_variants_control_first_touch() {
+        let good = HistoryTable::with_init(16, 2, CounterInit::StronglyGood);
+        assert!(good.predict_good(3));
+        let bad = HistoryTable::with_init(16, 2, CounterInit::WeaklyBad);
+        assert!(!bad.predict_good(3));
+        let mut bad = bad;
+        bad.train(3, true);
+        assert!(bad.predict_good(3), "one good outcome admits the key");
+    }
+
+    #[test]
+    fn train_and_flip() {
+        let mut t = HistoryTable::new(16, 2);
+        t.train(3, false);
+        assert!(!t.predict_good(3), "weakly-good flips after one bad");
+        assert!(t.predict_good(4), "neighbours untouched");
+        t.train(3, true);
+        assert!(t.predict_good(3));
+    }
+
+    #[test]
+    fn aliasing_by_mask() {
+        let mut t = HistoryTable::new(16, 2);
+        t.train(1, false);
+        t.train(1, false);
+        // Key 17 aliases to the same slot in a 16-entry table.
+        assert!(!t.predict_good(17), "aliased keys share a counter");
+    }
+
+    #[test]
+    fn saturation_bounds() {
+        let mut t = HistoryTable::new(8, 2);
+        for _ in 0..10 {
+            t.train(0, true);
+        }
+        assert_eq!(t.value(0), 3);
+        for _ in 0..10 {
+            t.train(0, false);
+        }
+        assert_eq!(t.value(0), 0);
+    }
+
+    #[test]
+    fn fraction_good_tracks_training() {
+        let mut t = HistoryTable::new(4, 2);
+        t.train(0, false); // 4 entries, 1 flipped bad
+        assert!((t.fraction_good() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        HistoryTable::new(1000, 2);
+    }
+}

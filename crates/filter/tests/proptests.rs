@@ -1,0 +1,147 @@
+//! Property-based tests for the pollution filter: counter bounds, table
+//! behaviour under arbitrary training, and end-to-end filter consistency.
+
+use ppf_filter::counter::SatCounter;
+use ppf_filter::table::HistoryTable;
+use ppf_filter::PollutionFilter;
+use ppf_types::{FilterConfig, FilterKind, LineAddr, PrefetchRequest, PrefetchSource};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn counter_stays_in_range_under_any_training(
+        bits in 1u8..=8,
+        initial in any::<u8>(),
+        outcomes in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut c = SatCounter::new(bits, initial);
+        let max = c.max();
+        for good in outcomes {
+            c.train(good);
+            prop_assert!(c.value() <= max);
+        }
+    }
+
+    #[test]
+    fn counter_prediction_matches_threshold(
+        bits in 1u8..=8,
+        outcomes in prop::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut c = SatCounter::weakly_good(bits);
+        for good in outcomes {
+            c.train(good);
+            prop_assert_eq!(c.predicts_good(), c.value() > c.max() / 2);
+        }
+    }
+
+    #[test]
+    fn saturated_good_counter_survives_one_bad(bits in 2u8..=8) {
+        let mut c = SatCounter::new(bits, u8::MAX);
+        c.train(false);
+        prop_assert!(c.predicts_good(), "hysteresis: one bad does not flip saturation");
+    }
+
+    #[test]
+    fn table_trains_only_the_indexed_slot(
+        entries_log2 in 4u32..10,
+        key in any::<u64>(),
+        probe in any::<u64>(),
+    ) {
+        let entries = 1usize << entries_log2;
+        let mut t = HistoryTable::new(entries, 2);
+        t.train(key, false);
+        let mask = (entries - 1) as u64;
+        if probe & mask != key & mask {
+            prop_assert!(t.predict_good(probe), "untouched slot stays weakly good");
+        }
+    }
+
+    #[test]
+    fn table_counts_match_counter_semantics(
+        key in any::<u64>(),
+        outcomes in prop::collection::vec(any::<bool>(), 0..100),
+    ) {
+        // Table slot must behave exactly like a standalone 2-bit counter.
+        let mut t = HistoryTable::new(64, 2);
+        let mut c = SatCounter::weakly_good(2);
+        for good in outcomes {
+            t.train(key, good);
+            c.train(good);
+            prop_assert_eq!(t.value(key), c.value());
+            prop_assert_eq!(t.predict_good(key), c.predicts_good());
+        }
+    }
+
+    #[test]
+    fn none_filter_never_rejects(
+        lines in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let cfg = FilterConfig { kind: FilterKind::None, ..FilterConfig::default() };
+        let mut f = PollutionFilter::new(&cfg);
+        for (i, l) in lines.iter().enumerate() {
+            let req = PrefetchRequest {
+                line: LineAddr(*l),
+                trigger_pc: *l ^ 0xabcd,
+                source: PrefetchSource::Nsp,
+            };
+            prop_assert!(f.should_prefetch(&req, i as u64));
+            // Train adversarially; it must still never reject.
+            f.on_eviction(&req.origin(), false);
+        }
+        prop_assert_eq!(f.stats().rejected, 0);
+    }
+
+    #[test]
+    fn filter_decision_is_stateless_between_lookups(
+        kind in prop_oneof![Just(FilterKind::Pa), Just(FilterKind::Pc)],
+        line in any::<u64>(),
+        pc in any::<u64>(),
+    ) {
+        // Two consecutive lookups with no intervening training agree
+        // (lookups must not themselves mutate the prediction).
+        let cfg = FilterConfig { kind, ..FilterConfig::default() };
+        let mut f = PollutionFilter::new(&cfg);
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Sdp };
+        let a = f.should_prefetch(&req, 0);
+        let b = f.should_prefetch(&req, 1);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consistent_training_converges(
+        kind in prop_oneof![Just(FilterKind::Pa), Just(FilterKind::Pc)],
+        line in any::<u64>(),
+        pc in any::<u64>(),
+        good in any::<bool>(),
+    ) {
+        // A key class with a perfectly consistent outcome ends up with the
+        // matching steady-state decision after a handful of trainings.
+        let cfg = FilterConfig { kind, ..FilterConfig::default() };
+        let mut f = PollutionFilter::new(&cfg);
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp };
+        for _ in 0..4 {
+            f.on_eviction(&req.origin(), good);
+        }
+        prop_assert_eq!(f.should_prefetch(&req, 0), good);
+    }
+
+    #[test]
+    fn recovery_never_resurrects_without_a_matching_miss(
+        line in any::<u64>(),
+        other in any::<u64>(),
+        pc in any::<u64>(),
+    ) {
+        prop_assume!(line != other);
+        let cfg = FilterConfig { kind: FilterKind::Pa, ..FilterConfig::default() };
+        let mut f = PollutionFilter::new(&cfg);
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp };
+        f.on_eviction(&req.origin(), false);
+        f.on_eviction(&req.origin(), false);
+        prop_assert!(!f.should_prefetch(&req, 10));
+        // A miss on an unrelated line must not train this key...
+        // (unless it aliases to the same reject-log slot AND table key,
+        // which different lines cannot: the log stores the exact line).
+        f.on_demand_miss(LineAddr(other), 11);
+        prop_assert!(!f.should_prefetch(&req, 12));
+    }
+}

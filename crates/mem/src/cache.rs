@@ -1,0 +1,510 @@
+//! Set-associative cache with the paper's per-line PIB/RIB metadata.
+//!
+//! Each line carries, beyond the usual valid/tag/dirty state:
+//!
+//! * **PIB** — Prefetch Indication Bit: line was brought in by a prefetch.
+//! * **RIB** — Reference Indication Bit: a prefetched line was referenced at
+//!   least once during its residency (valid only while PIB is set).
+//! * The full [`PrefetchOrigin`] (target line, trigger PC, source), which is
+//!   what lets eviction-time feedback reach the right history-table entry.
+//! * The **NSP tag bit** used by next-sequence prefetching: set on prefetch
+//!   fill, consumed by the first demand hit to re-trigger the prefetcher.
+//!
+//! The eviction report [`Evicted`] is the filter's only training input, as in
+//! the paper: "Whenever a cache line is replaced and evicted from the L1, its
+//! corresponding PIB is checked... The address of the cache line or the PC
+//! together with the RIB are passed to the pollution filter" (§4).
+
+use crate::replacement::{ReplacementPolicy, ReplacementState};
+use ppf_types::{CacheConfig, LineAddr, PrefetchOrigin};
+
+/// How a line is being filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillKind {
+    /// Demand miss fill: PIB = 0.
+    Demand,
+    /// Prefetch fill: PIB = 1, RIB = 0, provenance attached, NSP tag set.
+    Prefetch(PrefetchOrigin),
+}
+
+/// What a successful probe saw (state *before* the probe's side effects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeHit {
+    /// The line was brought in by a prefetch (PIB set).
+    pub was_prefetched: bool,
+    /// This probe is the line's first reference since the prefetch fill
+    /// (the RIB 0→1 edge) — the paper's "good prefetch" moment.
+    pub first_use: bool,
+    /// The NSP tag bit was set; the probe consumed (cleared) it.
+    pub nsp_tagged: bool,
+}
+
+/// Eviction report passed to the pollution filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Line was dirty (writeback needed).
+    pub dirty: bool,
+    /// If the line was prefetched: its provenance and whether it was ever
+    /// referenced (the RIB value at eviction).
+    pub prefetch: Option<(PrefetchOrigin, bool)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    valid: bool,
+    /// Full line number (the set index is recomputed from it; simpler and
+    /// no narrower than a real tag for a simulator).
+    line: LineAddr,
+    dirty: bool,
+    pib: bool,
+    rib: bool,
+    nsp_tag: bool,
+    origin: Option<PrefetchOrigin>,
+    stamp: u64,
+}
+
+const INVALID: Line = Line {
+    valid: false,
+    line: LineAddr(0),
+    dirty: false,
+    pib: false,
+    rib: false,
+    nsp_tag: false,
+    origin: None,
+    stamp: 0,
+};
+
+impl Line {
+    fn evict_report(&self) -> Evicted {
+        Evicted {
+            line: self.line,
+            dirty: self.dirty,
+            prefetch: if self.pib {
+                // A prefetched line always has its origin attached; the
+                // `unwrap_or` guards the (unreachable) inconsistent state.
+                Some((
+                    self.origin.unwrap_or(PrefetchOrigin {
+                        line: self.line,
+                        trigger_pc: 0,
+                        source: ppf_types::PrefetchSource::Nsp,
+                    }),
+                    self.rib,
+                ))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// A set-associative cache with PIB/RIB line metadata.
+#[derive(Debug)]
+pub struct Cache {
+    lines: Box<[Line]>,
+    sets: usize,
+    ways: usize,
+    set_mask: u64,
+    repl: ReplacementState,
+}
+
+impl Cache {
+    /// Build a cache from `cfg` (validated by the caller / `SystemConfig`).
+    pub fn new(cfg: &CacheConfig, policy: ReplacementPolicy, seed: u64) -> Self {
+        let sets = cfg.sets();
+        let ways = cfg.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0);
+        Cache {
+            lines: vec![INVALID; sets * ways].into_boxed_slice(),
+            sets,
+            ways,
+            set_mask: (sets - 1) as u64,
+            repl: ReplacementState::new(policy, seed),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.0 & self.set_mask) as usize;
+        let base = set * self.ways;
+        base..base + self.ways
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.set_range(line)
+            .find(|&i| self.lines[i].valid && self.lines[i].line == line)
+    }
+
+    /// Non-mutating presence check (no LRU/RIB side effects). Used for
+    /// duplicate-prefetch squashing.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Demand reference to `line`. On a hit: refreshes replacement stamp
+    /// (LRU), sets RIB on prefetched lines, consumes the NSP tag bit, and
+    /// optionally marks the line dirty (`is_write`). Returns `None` on miss.
+    pub fn probe(&mut self, line: LineAddr, is_write: bool) -> Option<ProbeHit> {
+        let idx = self.find(line)?;
+        let touch = self.repl.touch_on_hit();
+        let stamp = if touch { self.repl.stamp() } else { 0 };
+        let l = &mut self.lines[idx];
+        let hit = ProbeHit {
+            was_prefetched: l.pib,
+            first_use: l.pib && !l.rib,
+            nsp_tagged: l.nsp_tag,
+        };
+        if l.pib {
+            l.rib = true;
+        }
+        l.nsp_tag = false;
+        if is_write {
+            l.dirty = true;
+        }
+        if touch {
+            l.stamp = stamp;
+        }
+        Some(hit)
+    }
+
+    /// Install `line`. Returns the eviction report if a valid line was
+    /// displaced. Filling a line that is already present refreshes its
+    /// metadata in place (this happens when a demand miss races a prefetch
+    /// in the simulator's functional-immediate model) and evicts nothing.
+    pub fn fill(&mut self, line: LineAddr, kind: FillKind) -> Option<Evicted> {
+        let stamp = self.repl.stamp();
+        if let Some(idx) = self.find(line) {
+            // Already resident: a demand fill of a prefetched line counts as
+            // a reference; a prefetch fill of a resident line is a no-op
+            // (the queue squashes these, but be safe).
+            let l = &mut self.lines[idx];
+            if matches!(kind, FillKind::Demand) && l.pib {
+                l.rib = true;
+                l.nsp_tag = false;
+            }
+            l.stamp = stamp;
+            return None;
+        }
+        let range = self.set_range(line);
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let idx = match self.lines[range.clone()].iter().position(|l| !l.valid) {
+            Some(off) => range.start + off,
+            None => {
+                let stamps: Vec<u64> = self.lines[range.clone()].iter().map(|l| l.stamp).collect();
+                range.start + self.repl.victim(&stamps)
+            }
+        };
+        let victim = self.lines[idx];
+        let report = victim.valid.then(|| victim.evict_report());
+        self.lines[idx] = match kind {
+            FillKind::Demand => Line {
+                valid: true,
+                line,
+                dirty: false,
+                pib: false,
+                rib: false,
+                nsp_tag: false,
+                origin: None,
+                stamp,
+            },
+            FillKind::Prefetch(origin) => Line {
+                valid: true,
+                line,
+                dirty: false,
+                pib: true,
+                rib: false,
+                nsp_tag: true,
+                origin: Some(origin),
+                stamp,
+            },
+        };
+        report
+    }
+
+    /// Mark a resident line dirty (writeback path from an inner level).
+    /// Returns false if the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        match self.find(line) {
+            Some(idx) => {
+                self.lines[idx].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove `line` if present, returning its eviction report.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let idx = self.find(line)?;
+        let report = self.lines[idx].evict_report();
+        self.lines[idx] = INVALID;
+        Some(report)
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterate eviction reports for all resident lines, invalidating them.
+    /// Used at end-of-run so the good/bad prefetch census covers lines that
+    /// never got evicted (Figure 1's census is over *all* prefetches).
+    pub fn drain(&mut self) -> impl Iterator<Item = Evicted> + '_ {
+        self.lines.iter_mut().filter(|l| l.valid).map(|l| {
+            let report = l.evict_report();
+            *l = INVALID;
+            report
+        })
+    }
+
+    /// Debug/test helper: assert internal invariants (no duplicate tags in a
+    /// set; every valid line maps to the set it is stored in; PIB lines have
+    /// an origin; RIB implies PIB).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            for i in 0..self.ways {
+                let l = &self.lines[base + i];
+                if !l.valid {
+                    continue;
+                }
+                if (l.line.0 & self.set_mask) as usize != set {
+                    return Err(format!("line {} stored in wrong set {}", l.line, set));
+                }
+                if l.pib && l.origin.is_none() {
+                    return Err(format!("PIB line {} has no origin", l.line));
+                }
+                if l.rib && !l.pib {
+                    return Err(format!("RIB without PIB on line {}", l.line));
+                }
+                for j in (i + 1)..self.ways {
+                    let m = &self.lines[base + j];
+                    if m.valid && m.line == l.line {
+                        return Err(format!("duplicate line {} in set {}", l.line, set));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_types::{PrefetchSource, SplitMix64};
+
+    fn cfg(size: usize, ways: usize) -> CacheConfig {
+        CacheConfig {
+            size_bytes: size,
+            line_bytes: 32,
+            ways,
+            hit_latency: 1,
+            ports: 1,
+        }
+    }
+
+    fn origin(line: LineAddr) -> PrefetchOrigin {
+        PrefetchOrigin {
+            line,
+            trigger_pc: 0x1000,
+            source: PrefetchSource::Nsp,
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        let l = LineAddr(5);
+        assert!(c.probe(l, false).is_none());
+        assert!(c.fill(l, FillKind::Demand).is_none());
+        let hit = c.probe(l, false).expect("hit after fill");
+        assert!(!hit.was_prefetched);
+        assert!(!hit.first_use);
+        assert!(!hit.nsp_tagged);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        // 1KB direct-mapped, 32B lines => 32 sets; lines 1 and 33 collide.
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        c.fill(LineAddr(1), FillKind::Demand);
+        let ev = c
+            .fill(LineAddr(33), FillKind::Demand)
+            .expect("conflict eviction");
+        assert_eq!(ev.line, LineAddr(1));
+        assert!(!ev.dirty);
+        assert!(ev.prefetch.is_none());
+        assert!(!c.contains(LineAddr(1)));
+        assert!(c.contains(LineAddr(33)));
+    }
+
+    #[test]
+    fn prefetch_fill_sets_pib_and_nsp_tag() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        let l = LineAddr(7);
+        c.fill(l, FillKind::Prefetch(origin(l)));
+        let hit = c.probe(l, false).unwrap();
+        assert!(hit.was_prefetched);
+        assert!(hit.first_use, "first touch is the RIB 0->1 edge");
+        assert!(hit.nsp_tagged, "NSP tag visible to first touch");
+        // Second touch: RIB already set, tag consumed.
+        let hit2 = c.probe(l, false).unwrap();
+        assert!(hit2.was_prefetched);
+        assert!(!hit2.first_use);
+        assert!(!hit2.nsp_tagged);
+    }
+
+    #[test]
+    fn evicted_prefetched_line_reports_rib() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        let a = LineAddr(2);
+        let b = LineAddr(34); // same set
+                              // Unreferenced prefetch -> bad.
+        c.fill(a, FillKind::Prefetch(origin(a)));
+        let ev = c.fill(b, FillKind::Demand).unwrap();
+        let (o, referenced) = ev.prefetch.expect("prefetched line");
+        assert_eq!(o.line, a);
+        assert!(!referenced);
+        // Referenced prefetch -> good.
+        c.fill(a, FillKind::Prefetch(origin(a)));
+        c.probe(a, false);
+        let ev = c.fill(b, FillKind::Demand).unwrap();
+        // b was demand; victim must be a (same set, LRU: b touched later).
+        let (_, referenced) = ev.prefetch.expect("prefetched line evicted");
+        assert!(referenced);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty_and_writeback_reported() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        c.fill(LineAddr(3), FillKind::Demand);
+        c.probe(LineAddr(3), true);
+        let ev = c.fill(LineAddr(35), FillKind::Demand).unwrap();
+        assert!(ev.dirty, "dirty line must request writeback");
+    }
+
+    #[test]
+    fn lru_prefers_least_recently_used_way() {
+        // 2-way, 2 sets: 128 bytes / 32B = 4 lines.
+        let mut c = Cache::new(&cfg(128, 2), ReplacementPolicy::Lru, 0);
+        // Set 0 holds even line numbers.
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.fill(LineAddr(2), FillKind::Demand);
+        c.probe(LineAddr(0), false); // 0 is now MRU
+        let ev = c.fill(LineAddr(4), FillKind::Demand).unwrap();
+        assert_eq!(ev.line, LineAddr(2));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut c = Cache::new(&cfg(128, 2), ReplacementPolicy::Fifo, 0);
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.fill(LineAddr(2), FillKind::Demand);
+        c.probe(LineAddr(0), false); // should NOT protect 0 under FIFO
+        let ev = c.fill(LineAddr(4), FillKind::Demand).unwrap();
+        assert_eq!(ev.line, LineAddr(0), "FIFO evicts oldest fill despite hit");
+    }
+
+    #[test]
+    fn refill_of_resident_line_evicts_nothing() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        c.fill(LineAddr(9), FillKind::Demand);
+        assert!(c.fill(LineAddr(9), FillKind::Demand).is_none());
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn demand_refill_of_prefetched_line_counts_as_reference() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        let l = LineAddr(4);
+        c.fill(l, FillKind::Prefetch(origin(l)));
+        c.fill(l, FillKind::Demand); // demand touched the prefetched line
+        let ev = c.invalidate(l).unwrap();
+        let (_, referenced) = ev.prefetch.unwrap();
+        assert!(referenced);
+    }
+
+    #[test]
+    fn invalidate_returns_report_and_clears() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        assert!(c.invalidate(LineAddr(1)).is_none());
+        c.fill(LineAddr(1), FillKind::Demand);
+        let ev = c.invalidate(LineAddr(1)).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+        assert!(!c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn drain_reports_all_and_empties() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        c.fill(LineAddr(1), FillKind::Demand);
+        let l2 = LineAddr(2);
+        c.fill(l2, FillKind::Prefetch(origin(l2)));
+        let drained: Vec<Evicted> = c.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(drained.iter().filter(|e| e.prefetch.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn mark_dirty() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        assert!(!c.mark_dirty(LineAddr(8)));
+        c.fill(LineAddr(8), FillKind::Demand);
+        assert!(c.mark_dirty(LineAddr(8)));
+        let ev = c.invalidate(LineAddr(8)).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invariants_hold_under_random_workload() {
+        let mut c = Cache::new(&cfg(2048, 4), ReplacementPolicy::Lru, 1);
+        let mut rng = SplitMix64::new(99);
+        for i in 0..5_000u64 {
+            let line = LineAddr(rng.below(512));
+            match rng.below(4) {
+                0 => {
+                    c.probe(line, rng.chance(0.3));
+                }
+                1 => {
+                    c.fill(line, FillKind::Demand);
+                }
+                2 => {
+                    c.fill(line, FillKind::Prefetch(origin(line)));
+                }
+                _ => {
+                    c.invalidate(line);
+                }
+            }
+            if i % 512 == 0 {
+                c.check_invariants().unwrap();
+            }
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        // 8KB direct-mapped with 32B lines = 256 sets of 1 way.
+        let c = Cache::new(&cfg(8 * 1024, 1), ReplacementPolicy::Lru, 0);
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.ways(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Main memory: a fixed leadoff latency (Table 1: 150 core cycles) in front
+//! of the shared bus — the paper's model. An optional bank model
+//! (`MemConfig::banks`) serializes accesses that land in the same
+//! line-interleaved bank, for the memory-level-parallelism ablation.
+
+use ppf_types::{Cycle, LineAddr, MemConfig};
+
+/// Main memory with optional bank contention.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    latency: u64,
+    /// Per-bank next-free cycle; empty = unlimited concurrency.
+    banks_free: Vec<Cycle>,
+    bank_mask: u64,
+    bank_busy: u64,
+}
+
+impl MainMemory {
+    /// Build from the memory config.
+    pub fn new(cfg: &MemConfig) -> Self {
+        let banks = if cfg.banks > 0 {
+            assert!(cfg.banks.is_power_of_two(), "bank count must be 2^k");
+            cfg.banks
+        } else {
+            0
+        };
+        MainMemory {
+            latency: cfg.latency,
+            banks_free: vec![0; banks],
+            bank_mask: banks.saturating_sub(1) as u64,
+            bank_busy: cfg.bank_busy,
+        }
+    }
+
+    /// Leadoff latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Cycle at which data for a request issued at `now` leaves the memory
+    /// array (bus transfer time is charged separately by the caller). With
+    /// banks configured, the request first waits for its line-interleaved
+    /// bank and then occupies it for the busy time.
+    #[inline]
+    pub fn access(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        if self.banks_free.is_empty() {
+            return now + self.latency;
+        }
+        let bank = (line.0 & self.bank_mask) as usize;
+        let start = now.max(self.banks_free[bank]);
+        self.banks_free[bank] = start + self.bank_busy;
+        start + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_without_banks() {
+        let mut m = MainMemory::new(&MemConfig::default());
+        assert_eq!(m.latency(), 150);
+        assert_eq!(m.access(LineAddr(1), 0), 150);
+        assert_eq!(m.access(LineAddr(1), 1000), 1150);
+        // Unlimited concurrency: same-cycle requests do not queue.
+        assert_eq!(m.access(LineAddr(1), 1000), 1150);
+    }
+
+    #[test]
+    fn banked_memory_serializes_same_bank() {
+        let cfg = MemConfig {
+            banks: 4,
+            bank_busy: 40,
+            ..MemConfig::default()
+        };
+        let mut m = MainMemory::new(&cfg);
+        // Lines 0 and 4 share bank 0; line 1 uses bank 1.
+        assert_eq!(m.access(LineAddr(0), 0), 150);
+        assert_eq!(m.access(LineAddr(4), 0), 40 + 150, "same bank queues");
+        assert_eq!(m.access(LineAddr(1), 0), 150, "other bank is free");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_banks_rejected() {
+        MainMemory::new(&MemConfig {
+            banks: 3,
+            ..MemConfig::default()
+        });
+    }
+}

@@ -1,0 +1,50 @@
+//! Memory-hierarchy substrate for the PPF simulator.
+//!
+//! Everything the paper's evaluation machine needs below the core:
+//!
+//! * [`cache`] — set-associative caches whose lines carry the paper's
+//!   **PIB** (Prefetch Indication Bit) and **RIB** (Reference Indication
+//!   Bit) plus full prefetch provenance for eviction-time filter feedback.
+//! * [`replacement`] — LRU / FIFO / random victim selection.
+//! * [`ports`] — the per-cycle arbiter for the L1's universal ports, where
+//!   the prefetch queue competes with demand accesses (§4, Figure 3).
+//! * [`bus`] — occupancy model of the 64-byte L2↔memory bus.
+//! * [`dram`] — fixed-leadoff-latency main memory.
+//! * [`queue`] — the 64-entry prefetch queue with duplicate squashing.
+//! * [`buffer`] — the §5.5 dedicated fully-associative prefetch buffer.
+//! * [`mshr`] — a small outstanding-miss file so that hits on in-flight
+//!   lines observe the fill's completion time.
+//! * [`hierarchy`] — the assembled two-level hierarchy.
+//!
+//! ## Timing model
+//!
+//! The hierarchy is *functionally immediate, timing deferred*: state changes
+//! (fills, evictions, LRU updates) apply at access time, while the returned
+//! completion cycle carries the latency. Hits on lines whose fill is still
+//! in flight are held to the fill's completion time via the MSHR file. This
+//! is the same discipline SimpleScalar's `sim-outorder` cache module uses
+//! and keeps the simulator single-pass.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod bus;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod mshr;
+pub mod ports;
+pub mod queue;
+pub mod replacement;
+pub mod victim;
+
+pub use buffer::PrefetchBuffer;
+pub use bus::Bus;
+pub use cache::{Cache, Evicted, FillKind, ProbeHit};
+pub use dram::MainMemory;
+pub use hierarchy::{AccessKind, AccessResult, Hierarchy, PrefetchIssue};
+pub use mshr::MshrFile;
+pub use ports::PortArbiter;
+pub use queue::PrefetchQueue;
+pub use replacement::ReplacementPolicy;
+pub use victim::VictimCache;

@@ -1,0 +1,159 @@
+//! A small outstanding-miss file (MSHR-style).
+//!
+//! The hierarchy applies fills functionally at access time but the data is
+//! only *architecturally* available at the returned completion cycle. The
+//! MSHR file records `(line, ready_at)` for in-flight fills so later hits on
+//! those lines wait for the fill instead of observing 1-cycle latency — this
+//! is what makes "prefetch arrived too late" cost something, and it merges
+//! concurrent misses to the same line the way real MSHRs do.
+//!
+//! Entries are a fixed-size array scanned linearly: 16 entries is both the
+//! realistic hardware size and faster than a hash map at this scale.
+
+use ppf_types::{Cycle, LineAddr};
+
+/// Default number of entries, matching contemporary L1 designs.
+pub const DEFAULT_MSHRS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: LineAddr,
+    ready_at: Cycle,
+}
+
+/// Fixed-capacity outstanding-miss file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    cap: usize,
+}
+
+impl MshrFile {
+    /// A file with `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        MshrFile {
+            entries: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Number of live (not yet expired) entries at `now`.
+    pub fn live(&self, now: Cycle) -> usize {
+        self.entries.iter().filter(|e| e.ready_at > now).count()
+    }
+
+    /// If `line` has an in-flight fill at `now`, the cycle it completes.
+    #[inline]
+    pub fn ready_at(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|e| e.line == line && e.ready_at > now)
+            .map(|e| e.ready_at)
+    }
+
+    /// Record an in-flight fill of `line` completing at `ready_at`.
+    ///
+    /// Expired entries are recycled first; when the file is full the entry
+    /// expiring soonest is replaced (timing-only structure — overwriting
+    /// loses a little accuracy, never correctness).
+    pub fn insert(&mut self, line: LineAddr, ready_at: Cycle, now: Cycle) {
+        // Merge with an existing in-flight entry for the same line.
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line == line && e.ready_at > now)
+        {
+            e.ready_at = e.ready_at.max(ready_at);
+            return;
+        }
+        // Recycle an expired slot.
+        if let Some(e) = self.entries.iter_mut().find(|e| e.ready_at <= now) {
+            *e = Entry { line, ready_at };
+            return;
+        }
+        if self.entries.len() < self.cap {
+            self.entries.push(Entry { line, ready_at });
+            return;
+        }
+        // Full of live entries: replace the one completing soonest.
+        if let Some(e) = self.entries.iter_mut().min_by_key(|e| e.ready_at) {
+            *e = Entry { line, ready_at };
+        }
+    }
+}
+
+impl Default for MshrFile {
+    fn default() -> Self {
+        MshrFile::new(DEFAULT_MSHRS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_in_flight_lines() {
+        let mut m = MshrFile::new(4);
+        m.insert(LineAddr(1), 100, 0);
+        assert_eq!(m.ready_at(LineAddr(1), 50), Some(100));
+        assert_eq!(m.ready_at(LineAddr(2), 50), None);
+    }
+
+    #[test]
+    fn expired_entries_invisible() {
+        let mut m = MshrFile::new(4);
+        m.insert(LineAddr(1), 100, 0);
+        assert_eq!(
+            m.ready_at(LineAddr(1), 100),
+            None,
+            "ready_at == now is complete"
+        );
+        assert_eq!(m.ready_at(LineAddr(1), 150), None);
+    }
+
+    #[test]
+    fn merge_same_line_takes_later_completion() {
+        let mut m = MshrFile::new(4);
+        m.insert(LineAddr(1), 100, 0);
+        m.insert(LineAddr(1), 80, 0);
+        assert_eq!(m.ready_at(LineAddr(1), 0), Some(100));
+        m.insert(LineAddr(1), 130, 0);
+        assert_eq!(m.ready_at(LineAddr(1), 0), Some(130));
+        assert_eq!(m.live(0), 1, "merged, not duplicated");
+    }
+
+    #[test]
+    fn recycles_expired_slots() {
+        let mut m = MshrFile::new(2);
+        m.insert(LineAddr(1), 10, 0);
+        m.insert(LineAddr(2), 20, 0);
+        // At cycle 15, line 1's entry has expired and can be recycled.
+        m.insert(LineAddr(3), 40, 15);
+        assert_eq!(m.ready_at(LineAddr(3), 15), Some(40));
+        assert_eq!(m.ready_at(LineAddr(2), 15), Some(20));
+    }
+
+    #[test]
+    fn full_file_replaces_soonest_completion() {
+        let mut m = MshrFile::new(2);
+        m.insert(LineAddr(1), 100, 0);
+        m.insert(LineAddr(2), 200, 0);
+        m.insert(LineAddr(3), 300, 0); // replaces line 1 (soonest)
+        assert_eq!(m.ready_at(LineAddr(1), 0), None);
+        assert_eq!(m.ready_at(LineAddr(2), 0), Some(200));
+        assert_eq!(m.ready_at(LineAddr(3), 0), Some(300));
+    }
+
+    #[test]
+    fn live_count() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.live(0), 0);
+        m.insert(LineAddr(1), 10, 0);
+        m.insert(LineAddr(2), 20, 0);
+        assert_eq!(m.live(0), 2);
+        assert_eq!(m.live(15), 1);
+        assert_eq!(m.live(25), 0);
+    }
+}

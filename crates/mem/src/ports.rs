@@ -1,0 +1,114 @@
+//! Per-cycle arbitration for the L1's universal cache ports.
+//!
+//! Table 1's machine has 3 universal (read/write) L1 ports. Demand accesses
+//! from the LSQ and pops from the prefetch queue compete for them each cycle
+//! — this competition is one of the two costs of bad prefetches the paper
+//! identifies (§1.3), and it is what the §5.4 port sweep varies.
+//!
+//! The arbiter is intentionally simple: a per-cycle grant counter that
+//! resets whenever a new cycle begins. Priority is enforced by *call order*
+//! (the simulator offers demand accesses before prefetch pops each cycle),
+//! matching the paper's design where the prefetch queue waits for free
+//! ports.
+
+use ppf_types::Cycle;
+
+/// Grant counter for one cache's ports.
+#[derive(Debug, Clone)]
+pub struct PortArbiter {
+    ports: usize,
+    current_cycle: Cycle,
+    used: usize,
+}
+
+impl PortArbiter {
+    /// An arbiter for `ports` universal ports. `ports` must be nonzero.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "a cache needs at least one port");
+        PortArbiter {
+            ports,
+            current_cycle: 0,
+            used: 0,
+        }
+    }
+
+    /// Total ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    #[inline]
+    fn roll(&mut self, now: Cycle) {
+        if now != self.current_cycle {
+            debug_assert!(now > self.current_cycle, "time went backwards");
+            self.current_cycle = now;
+            self.used = 0;
+        }
+    }
+
+    /// Try to take one port in cycle `now`. Returns false when all ports in
+    /// this cycle are already granted.
+    #[inline]
+    pub fn try_acquire(&mut self, now: Cycle) -> bool {
+        self.roll(now);
+        if self.used < self.ports {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ports still free in cycle `now`.
+    #[inline]
+    pub fn free(&mut self, now: Cycle) -> usize {
+        self.roll(now);
+        self.ports - self.used
+    }
+
+    /// True if every port in cycle `now` has been granted.
+    #[inline]
+    pub fn saturated(&mut self, now: Cycle) -> bool {
+        self.free(now) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_up_to_port_count() {
+        let mut a = PortArbiter::new(3);
+        assert!(a.try_acquire(1));
+        assert!(a.try_acquire(1));
+        assert!(a.try_acquire(1));
+        assert!(!a.try_acquire(1), "4th grant in one cycle must fail");
+    }
+
+    #[test]
+    fn resets_on_new_cycle() {
+        let mut a = PortArbiter::new(1);
+        assert!(a.try_acquire(1));
+        assert!(!a.try_acquire(1));
+        assert!(a.try_acquire(2), "new cycle frees the ports");
+    }
+
+    #[test]
+    fn free_counts_down() {
+        let mut a = PortArbiter::new(2);
+        assert_eq!(a.free(5), 2);
+        a.try_acquire(5);
+        assert_eq!(a.free(5), 1);
+        a.try_acquire(5);
+        assert_eq!(a.free(5), 0);
+        assert!(a.saturated(5));
+        assert_eq!(a.free(6), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ports_rejected() {
+        PortArbiter::new(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The prefetch queue (Table 1: 64 entries).
+//!
+//! Prefetches that survive the pollution filter wait here for a free L1
+//! port (Figure 3: "the prefetch queue contends the L1 cache ports with
+//! normal L1 memory references"). The queue squashes duplicates — "all
+//! duplicate prefetches are squashed automatically with no penalty" (§5.1)
+//! — and drops new requests when full.
+
+use ppf_types::{LineAddr, PrefetchRequest};
+use std::collections::VecDeque;
+
+/// Outcome of offering a request to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Request enqueued.
+    Enqueued,
+    /// Same target line already queued: squashed, no penalty.
+    Duplicate,
+    /// Queue full: request dropped.
+    Overflow,
+}
+
+/// Bounded FIFO of pending prefetches with duplicate squashing.
+#[derive(Debug)]
+pub struct PrefetchQueue {
+    q: VecDeque<PrefetchRequest>,
+    cap: usize,
+}
+
+impl PrefetchQueue {
+    /// A queue holding at most `cap` requests.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        PrefetchQueue {
+            q: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Pending requests.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// True if a request for `line` is already pending. The queue is small
+    /// (64 entries) so a linear scan is cheaper than maintaining an index.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.q.iter().any(|r| r.line == line)
+    }
+
+    /// Offer a request.
+    pub fn push(&mut self, req: PrefetchRequest) -> PushOutcome {
+        if self.contains(req.line) {
+            PushOutcome::Duplicate
+        } else if self.q.len() >= self.cap {
+            PushOutcome::Overflow
+        } else {
+            self.q.push_back(req);
+            PushOutcome::Enqueued
+        }
+    }
+
+    /// Take the oldest pending request.
+    pub fn pop(&mut self) -> Option<PrefetchRequest> {
+        self.q.pop_front()
+    }
+
+    /// Peek at the oldest pending request without removing it.
+    pub fn front(&self) -> Option<&PrefetchRequest> {
+        self.q.front()
+    }
+
+    /// Drop every pending request (used on pipeline flush ablations).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_types::PrefetchSource;
+
+    fn req(line: u64) -> PrefetchRequest {
+        PrefetchRequest {
+            line: LineAddr(line),
+            trigger_pc: 0x400,
+            source: PrefetchSource::Nsp,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = PrefetchQueue::new(4);
+        assert_eq!(q.push(req(1)), PushOutcome::Enqueued);
+        assert_eq!(q.push(req(2)), PushOutcome::Enqueued);
+        assert_eq!(q.pop().unwrap().line, LineAddr(1));
+        assert_eq!(q.pop().unwrap().line, LineAddr(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn duplicates_squashed() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(req(5));
+        assert_eq!(q.push(req(5)), PushOutcome::Duplicate);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut q = PrefetchQueue::new(2);
+        q.push(req(1));
+        q.push(req(2));
+        assert_eq!(q.push(req(3)), PushOutcome::Overflow);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn contains_and_front() {
+        let mut q = PrefetchQueue::new(4);
+        assert!(!q.contains(LineAddr(9)));
+        q.push(req(9));
+        assert!(q.contains(LineAddr(9)));
+        assert_eq!(q.front().unwrap().line, LineAddr(9));
+        q.pop();
+        assert!(!q.contains(LineAddr(9)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(req(1));
+        q.push(req(2));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.push(req(1)), PushOutcome::Enqueued);
+    }
+
+    #[test]
+    fn dup_of_popped_line_is_allowed_again() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(req(7));
+        q.pop();
+        assert_eq!(q.push(req(7)), PushOutcome::Enqueued);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the memory substrate: structural invariants
+//! must hold under arbitrary operation sequences.
+
+use ppf_mem::cache::{Cache, FillKind};
+use ppf_mem::mshr::MshrFile;
+use ppf_mem::queue::{PrefetchQueue, PushOutcome};
+use ppf_mem::replacement::ReplacementPolicy;
+use ppf_types::{CacheConfig, LineAddr, PrefetchOrigin, PrefetchRequest, PrefetchSource};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Probe(u64, bool),
+    FillDemand(u64),
+    FillPrefetch(u64),
+    Invalidate(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..512, any::<bool>()).prop_map(|(l, w)| CacheOp::Probe(l, w)),
+        (0u64..512).prop_map(CacheOp::FillDemand),
+        (0u64..512).prop_map(CacheOp::FillPrefetch),
+        (0u64..512).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+fn origin(line: u64) -> PrefetchOrigin {
+    PrefetchOrigin {
+        line: LineAddr(line),
+        trigger_pc: 0x1000 + (line % 64) * 4,
+        source: PrefetchSource::Nsp,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_invariants_hold_under_any_op_sequence(
+        ops in prop::collection::vec(cache_op(), 1..400),
+        ways in 1usize..5,
+    ) {
+        // 4KB cache; ways varies, sets stay a power of two.
+        let cfg = CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 32,
+            ways,
+            hit_latency: 1,
+            ports: 1,
+        };
+        prop_assume!(cfg.sets().is_power_of_two());
+        let mut c = Cache::new(&cfg, ReplacementPolicy::Lru, 7);
+        let capacity = cfg.lines();
+        for op in ops {
+            match op {
+                CacheOp::Probe(l, w) => { c.probe(LineAddr(l), w); }
+                CacheOp::FillDemand(l) => { c.fill(LineAddr(l), FillKind::Demand); }
+                CacheOp::FillPrefetch(l) => {
+                    c.fill(LineAddr(l), FillKind::Prefetch(origin(l)));
+                }
+                CacheOp::Invalidate(l) => { c.invalidate(LineAddr(l)); }
+            }
+            prop_assert!(c.valid_lines() <= capacity);
+        }
+        c.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn fill_then_probe_always_hits(lines in prop::collection::vec(0u64..100_000, 1..50)) {
+        let cfg = CacheConfig {
+            size_bytes: 8192,
+            line_bytes: 32,
+            ways: 1,
+            hit_latency: 1,
+            ports: 1,
+        };
+        let mut c = Cache::new(&cfg, ReplacementPolicy::Lru, 0);
+        for l in lines {
+            c.fill(LineAddr(l), FillKind::Demand);
+            prop_assert!(c.probe(LineAddr(l), false).is_some(), "just-filled line must hit");
+        }
+    }
+
+    #[test]
+    fn eviction_reports_every_prefetch_exactly_once(
+        lines in prop::collection::vec(0u64..2048, 1..300),
+    ) {
+        // Fill-only workload: every prefetch fill is eventually reported
+        // either as an eviction or by drain — never twice, never lost.
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 2,
+            hit_latency: 1,
+            ports: 1,
+        };
+        let mut c = Cache::new(&cfg, ReplacementPolicy::Lru, 3);
+        let mut fills = 0u64;
+        let mut reports = 0u64;
+        for l in lines {
+            if !c.contains(LineAddr(l)) {
+                if let Some(ev) = c.fill(LineAddr(l), FillKind::Prefetch(origin(l))) {
+                    if ev.prefetch.is_some() {
+                        reports += 1;
+                    }
+                }
+                fills += 1;
+            }
+        }
+        reports += c.drain().filter(|e| e.prefetch.is_some()).count() as u64;
+        prop_assert_eq!(fills, reports);
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity_or_duplicates(
+        pushes in prop::collection::vec(0u64..64, 1..300),
+        cap in 1usize..64,
+    ) {
+        let mut q = PrefetchQueue::new(cap);
+        let mut pops = 0usize;
+        for (i, line) in pushes.iter().enumerate() {
+            let req = PrefetchRequest {
+                line: LineAddr(*line),
+                trigger_pc: 0,
+                source: PrefetchSource::Sdp,
+            };
+            match q.push(req) {
+                PushOutcome::Enqueued => {}
+                PushOutcome::Duplicate => prop_assert!(q.contains(LineAddr(*line))),
+                PushOutcome::Overflow => prop_assert_eq!(q.len(), cap),
+            }
+            prop_assert!(q.len() <= cap);
+            if i % 3 == 0 && q.pop().is_some() {
+                pops += 1;
+            }
+        }
+        let _ = pops;
+        // No duplicate lines inside the queue.
+        let mut seen = std::collections::HashSet::new();
+        while let Some(r) = q.pop() {
+            prop_assert!(seen.insert(r.line), "duplicate {:?} in queue", r.line);
+        }
+    }
+
+    #[test]
+    fn mshr_ready_times_respect_insertion(
+        inserts in prop::collection::vec((0u64..128, 1u64..500), 1..64),
+    ) {
+        let mut m = MshrFile::new(16);
+        for (now, (line, delay)) in inserts.into_iter().enumerate() {
+            let now = now as u64;
+            m.insert(LineAddr(line), now + delay, now);
+            // Whatever is reported must be in the future.
+            if let Some(ready) = m.ready_at(LineAddr(line), now) {
+                prop_assert!(ready > now);
+            }
+        }
+    }
+}

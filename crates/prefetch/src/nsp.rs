@@ -1,0 +1,118 @@
+//! Next-Sequence Prefetching (NSP) — tagged next-line prefetch.
+//!
+//! From §3 of the paper: "the NSP employs a tag bit associated with each
+//! cache line. When a cache line is prefetched, its corresponding tag bit is
+//! set. The next adjacent cache line is automatically prefetched when a
+//! memory access either misses the L1 or hits a tagged cache line."
+//!
+//! The tag bit itself lives in the L1 line metadata (`ppf-mem` sets it on
+//! prefetch fills and reports its consumption in
+//! [`AccessEvent::nsp_tagged_hit`]), so this generator is stateless — it is
+//! purely a trigger rule. That mirrors the hardware, where NSP is a wire
+//! from the L1 miss/tag-hit logic to the prefetch generator.
+
+use crate::{AccessEvent, Prefetcher};
+use ppf_types::{PrefetchRequest, PrefetchSource};
+
+/// The tagged next-line prefetcher.
+#[derive(Debug, Default, Clone)]
+pub struct NextSequencePrefetcher {
+    /// Prefetch degree: how many sequential lines to request per trigger.
+    /// The paper's NSP uses degree 1; the ablation benches sweep it.
+    pub degree: u32,
+}
+
+impl NextSequencePrefetcher {
+    /// Degree-1 NSP, as in the paper.
+    pub fn new() -> Self {
+        NextSequencePrefetcher { degree: 1 }
+    }
+
+    /// NSP with a custom prefetch degree (>= 1).
+    pub fn with_degree(degree: u32) -> Self {
+        assert!(degree >= 1);
+        NextSequencePrefetcher { degree }
+    }
+}
+
+impl Prefetcher for NextSequencePrefetcher {
+    fn name(&self) -> &'static str {
+        "nsp"
+    }
+
+    fn source(&self) -> PrefetchSource {
+        PrefetchSource::Nsp
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        let triggered = !ev.l1_hit || ev.nsp_tagged_hit;
+        if !triggered {
+            return;
+        }
+        for d in 1..=self.degree as i64 {
+            out.push(PrefetchRequest {
+                line: ev.line.offset(d),
+                trigger_pc: ev.pc,
+                source: PrefetchSource::Nsp,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{event, miss_event};
+    use ppf_types::LineAddr;
+
+    #[test]
+    fn miss_triggers_next_line() {
+        let mut p = NextSequencePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_access(&miss_event(0x100, 10, true), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, LineAddr(11));
+        assert_eq!(out[0].trigger_pc, 0x100);
+        assert_eq!(out[0].source, PrefetchSource::Nsp);
+    }
+
+    #[test]
+    fn plain_hit_is_quiet() {
+        let mut p = NextSequencePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_access(&event(0x100, 10), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tagged_hit_triggers() {
+        let mut p = NextSequencePrefetcher::new();
+        let mut out = Vec::new();
+        let mut ev = event(0x100, 20);
+        ev.nsp_tagged_hit = true;
+        p.on_access(&ev, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, LineAddr(21));
+    }
+
+    #[test]
+    fn degree_n_emits_n_lines() {
+        let mut p = NextSequencePrefetcher::with_degree(3);
+        let mut out = Vec::new();
+        p.on_access(&miss_event(0x100, 5, false), &mut out);
+        let lines: Vec<_> = out.iter().map(|r| r.line).collect();
+        assert_eq!(lines, vec![LineAddr(6), LineAddr(7), LineAddr(8)]);
+    }
+
+    #[test]
+    fn appends_rather_than_clearing() {
+        let mut p = NextSequencePrefetcher::new();
+        let mut out = vec![PrefetchRequest {
+            line: LineAddr(1),
+            trigger_pc: 0,
+            source: PrefetchSource::Sdp,
+        }];
+        p.on_access(&miss_event(0x100, 10, true), &mut out);
+        assert_eq!(out.len(), 2, "existing requests preserved");
+    }
+}

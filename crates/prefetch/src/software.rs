@@ -1,0 +1,42 @@
+//! Software prefetch plumbing.
+//!
+//! Compiler-inserted prefetch instructions (gcc `-O4` on Alpha uses loads
+//! to `$r31`) are identified in the LSQ and "sent to the pollution filter
+//! directly" (§4, Figure 3). In this simulator they appear as
+//! `Op::SoftPrefetch` instructions in the workload stream; the core calls
+//! [`request_for`] to turn one into a [`PrefetchRequest`] whose trigger PC
+//! is the prefetch instruction's own PC (§4.2: "for prefetches enabled by a
+//! software prefetch instruction, the PC is identical to the PC of the
+//! software prefetch instruction").
+
+use ppf_types::{Addr, LineAddr, Pc, PrefetchRequest, PrefetchSource};
+
+/// Build the prefetch request for a software prefetch instruction at `pc`
+/// targeting byte address `addr`.
+#[inline]
+pub fn request_for(pc: Pc, addr: Addr, line_bytes: u32) -> PrefetchRequest {
+    PrefetchRequest {
+        line: LineAddr::of(addr, line_bytes),
+        trigger_pc: pc,
+        source: PrefetchSource::Software,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_line_granular_request() {
+        let r = request_for(0x1234, 100, 32);
+        assert_eq!(r.line, LineAddr(3)); // 100 / 32
+        assert_eq!(r.trigger_pc, 0x1234);
+        assert_eq!(r.source, PrefetchSource::Software);
+    }
+
+    #[test]
+    fn same_line_addresses_collapse() {
+        assert_eq!(request_for(0, 64, 32).line, request_for(0, 95, 32).line);
+        assert_ne!(request_for(0, 64, 32).line, request_for(0, 96, 32).line);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests over the prefetch generators: structural sanity of
+//! every candidate they emit, under arbitrary access streams.
+
+use ppf_prefetch::{
+    AccessEvent, ComposedPrefetcher, CorrelationPrefetcher, NextSequencePrefetcher, Prefetcher,
+    ShadowDirectoryPrefetcher, StridePrefetcher,
+};
+use ppf_types::{LineAddr, PrefetchRequest, PrefetchSource};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Access {
+    pc: u64,
+    line: u64,
+    l1_hit: bool,
+    nsp_tagged: bool,
+    l2_hit: bool,
+}
+
+fn access() -> impl Strategy<Value = Access> {
+    (
+        0u64..64,
+        0u64..4096,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, line, l1_hit, nsp_tagged, l2_hit)| Access {
+            pc: 0x1000 + pc * 4,
+            line,
+            l1_hit,
+            nsp_tagged: nsp_tagged && l1_hit,
+            l2_hit,
+        })
+}
+
+fn event(a: &Access) -> AccessEvent {
+    AccessEvent {
+        pc: a.pc,
+        addr: a.line * 32 + (a.pc % 4) * 8,
+        line: LineAddr(a.line),
+        l1_hit: a.l1_hit,
+        nsp_tagged_hit: a.nsp_tagged,
+        l2_accessed: !a.l1_hit,
+        l2_hit: a.l2_hit,
+        is_store: false,
+    }
+}
+
+fn drive(p: &mut dyn Prefetcher, accesses: &[Access]) -> Vec<(Access, Vec<PrefetchRequest>)> {
+    let mut log = Vec::new();
+    let mut out = Vec::new();
+    for a in accesses {
+        out.clear();
+        p.on_access(&event(a), &mut out);
+        log.push((a.clone(), out.clone()));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nsp_emits_only_forward_neighbours(accesses in prop::collection::vec(access(), 1..200)) {
+        let mut p = NextSequencePrefetcher::with_degree(2);
+        for (a, reqs) in drive(&mut p, &accesses) {
+            for r in reqs {
+                let delta = r.line.0.wrapping_sub(a.line);
+                prop_assert!((1..=2).contains(&delta), "NSP emitted line {delta} away");
+                prop_assert_eq!(r.trigger_pc, a.pc);
+                prop_assert_eq!(r.source, PrefetchSource::Nsp);
+            }
+        }
+    }
+
+    #[test]
+    fn nsp_silent_on_untagged_hits(accesses in prop::collection::vec(access(), 1..200)) {
+        let mut p = NextSequencePrefetcher::new();
+        for (a, reqs) in drive(&mut p, &accesses) {
+            if a.l1_hit && !a.nsp_tagged {
+                prop_assert!(reqs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sdp_never_prefetches_the_trigger_line(accesses in prop::collection::vec(access(), 1..300)) {
+        let mut p = ShadowDirectoryPrefetcher::new(1024);
+        for (a, reqs) in drive(&mut p, &accesses) {
+            for r in reqs {
+                prop_assert_ne!(r.line, LineAddr(a.line), "self-shadow emitted");
+                prop_assert_eq!(r.source, PrefetchSource::Sdp);
+            }
+        }
+    }
+
+    #[test]
+    fn sdp_only_prefetches_observed_lines(accesses in prop::collection::vec(access(), 1..300)) {
+        // Every shadow the SDP emits must be a line that actually missed
+        // at some earlier point in the stream (shadows are learned, not
+        // synthesized).
+        let mut p = ShadowDirectoryPrefetcher::new(1024);
+        let mut seen_misses = std::collections::HashSet::new();
+        for (a, reqs) in drive(&mut p, &accesses) {
+            for r in &reqs {
+                prop_assert!(
+                    seen_misses.contains(&r.line.0),
+                    "shadow {:?} never missed before", r.line
+                );
+            }
+            if !a.l1_hit && !a.l2_hit {
+                seen_misses.insert(a.line);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_only_prefetches_observed_miss_successors(
+        accesses in prop::collection::vec(access(), 1..300),
+    ) {
+        let mut p = CorrelationPrefetcher::new(256).with_degree(2);
+        let mut seen_misses = std::collections::HashSet::new();
+        for (a, reqs) in drive(&mut p, &accesses) {
+            for r in &reqs {
+                prop_assert!(seen_misses.contains(&r.line.0));
+            }
+            if !a.l1_hit {
+                seen_misses.insert(a.line);
+            }
+        }
+    }
+
+    #[test]
+    fn stride_targets_are_always_off_the_trigger_line(
+        accesses in prop::collection::vec(access(), 1..300),
+    ) {
+        let mut p = StridePrefetcher::paper_sized();
+        for (a, reqs) in drive(&mut p, &accesses) {
+            for r in reqs {
+                prop_assert_ne!(r.line, LineAddr(a.line));
+                prop_assert_eq!(r.source, PrefetchSource::Stride);
+            }
+        }
+    }
+
+    #[test]
+    fn composition_has_no_same_event_duplicates(
+        accesses in prop::collection::vec(access(), 1..200),
+    ) {
+        let mut c = ComposedPrefetcher::new(vec![
+            Box::new(NextSequencePrefetcher::with_degree(2)),
+            Box::new(ShadowDirectoryPrefetcher::new(256)),
+            Box::new(CorrelationPrefetcher::new(256)),
+        ]);
+        let mut out = Vec::new();
+        for a in &accesses {
+            out.clear();
+            c.on_access(&event(a), &mut out);
+            let mut lines: Vec<u64> = out.iter().map(|r| r.line.0).collect();
+            lines.sort_unstable();
+            let before = lines.len();
+            lines.dedup();
+            prop_assert_eq!(lines.len(), before, "duplicate line within one event");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic(accesses in prop::collection::vec(access(), 1..150)) {
+        let run = |accesses: &[Access]| {
+            let mut p = ShadowDirectoryPrefetcher::new(512);
+            drive(&mut p, accesses)
+                .into_iter()
+                .map(|(_, reqs)| reqs)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&accesses), run(&accesses));
+    }
+}

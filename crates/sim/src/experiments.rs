@@ -1,0 +1,532 @@
+//! Experiment grids for every table and figure in the paper, plus a
+//! parallel sweep runner.
+//!
+//! Each `figN_*` function returns the grid of [`RunSpec`]s whose reports
+//! regenerate that figure's rows; the `figures` binary and the Criterion
+//! benches share these definitions so the paper index in DESIGN.md has a
+//! single source of truth. Grid cells are independent pure functions of
+//! `(config, workload, seed)`, so [`run_grid`] fans them out across threads
+//! with a simple work queue (crossbeam scope + parking_lot mutexes — no
+//! shared mutable simulator state).
+
+use crate::report::SimReport;
+use crate::simulator::Simulator;
+use parking_lot::Mutex;
+use ppf_types::{FilterKind, PrefetchConfig, SystemConfig};
+use ppf_workloads::Workload;
+
+/// Default per-run instruction budget for full experiments. The paper runs
+/// 300M instructions per benchmark; the models reach steady state orders of
+/// magnitude sooner, and all reported metrics are rates/ratios.
+pub const DEFAULT_INSTRUCTIONS: u64 = 1_000_000;
+
+/// Default warm-up budget: caches, predictors and the filter's history
+/// table reach steady state before measurement begins, standing in for the
+/// paper's 300M-instruction runs.
+pub const DEFAULT_WARMUP: u64 = 600_000;
+
+/// Default stream seed (any fixed value; results are seed-stable).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// One grid cell: a fully specified simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Configuration label for the report ("PA", "no-filter@32KB", ...).
+    pub label: String,
+    /// Machine configuration.
+    pub config: SystemConfig,
+    /// Benchmark.
+    pub workload: Workload,
+    /// Stream seed.
+    pub seed: u64,
+    /// Instructions to retire (measured, after warm-up).
+    pub n_instructions: u64,
+    /// Warm-up instructions before statistics reset.
+    pub warmup: u64,
+}
+
+impl RunSpec {
+    /// A spec with default seed and instruction budget.
+    pub fn new(label: impl Into<String>, config: SystemConfig, workload: Workload) -> Self {
+        RunSpec {
+            label: label.into(),
+            config,
+            workload,
+            seed: DEFAULT_SEED,
+            n_instructions: DEFAULT_INSTRUCTIONS,
+            warmup: DEFAULT_WARMUP,
+        }
+    }
+
+    /// Override the instruction budget; warm-up scales along (60% of the
+    /// measured budget, capped at the default so small test grids stay
+    /// fast while full runs get a fully warm L2 and history table).
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.n_instructions = n;
+        self.warmup = (n * 6 / 10).min(DEFAULT_WARMUP);
+        self
+    }
+
+    /// Execute this cell.
+    pub fn run(&self) -> SimReport {
+        let sim = Simulator::with_seed(
+            self.config.clone(),
+            Box::new(self.workload.stream(self.seed)),
+            self.seed,
+        )
+        .expect("experiment grids only produce valid configs");
+        let mut sim = sim.labeled(self.label.clone(), self.workload.name());
+        sim.warmup(self.warmup);
+        sim.run(self.n_instructions)
+    }
+}
+
+/// Run every cell under `seeds` different workload seeds and merge the
+/// per-cell statistics (sums of counters — derived rates and ratios then
+/// behave as instruction-weighted averages). Seed 1 reduces to
+/// [`run_grid`]. Output order matches input order.
+pub fn run_grid_seeds(specs: Vec<RunSpec>, seeds: u32) -> Vec<SimReport> {
+    assert!(seeds >= 1);
+    if seeds == 1 {
+        return run_grid(specs);
+    }
+    // Fan the whole (cell × seed) product through one parallel pool.
+    let n = specs.len();
+    let mut fanned = Vec::with_capacity(n * seeds as usize);
+    for s in 0..seeds {
+        for spec in &specs {
+            let mut cell = spec.clone();
+            cell.seed = spec.seed + 1_000 * s as u64;
+            fanned.push(cell);
+        }
+    }
+    let reports = run_grid(fanned);
+    let mut merged: Vec<SimReport> = reports[..n].to_vec();
+    for s in 1..seeds as usize {
+        for (i, m) in merged.iter_mut().enumerate() {
+            m.stats.merge(&reports[s * n + i].stats);
+        }
+    }
+    merged
+}
+
+/// Run every cell, in parallel, preserving input order in the output.
+pub fn run_grid(specs: Vec<RunSpec>) -> Vec<SimReport> {
+    let n = specs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return specs.iter().map(RunSpec::run).collect();
+    }
+    let queue: Mutex<Vec<(usize, RunSpec)>> = Mutex::new(specs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job = queue.lock().pop();
+                let Some((idx, spec)) = job else { break };
+                let report = spec.run();
+                results.lock()[idx] = Some(report);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect()
+}
+
+fn all_workloads(label: &str, config: SystemConfig, n: u64) -> Vec<RunSpec> {
+    Workload::ALL
+        .iter()
+        .map(|&w| RunSpec::new(label, config.clone(), w).instructions(n))
+        .collect()
+}
+
+/// Table 2: prefetch-off miss-rate characterization of the ten benchmarks.
+pub fn table2(n: u64) -> Vec<RunSpec> {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.prefetch = PrefetchConfig::disabled();
+    all_workloads("prefetch-off", cfg, n)
+}
+
+/// Figures 1 & 2: good/bad prefetch split and L1 traffic split on the
+/// default machine, no filtering.
+pub fn fig1_2(n: u64) -> Vec<RunSpec> {
+    all_workloads("no-filter", SystemConfig::paper_default(), n)
+}
+
+/// The none/PA/PC filter comparison on a given base machine
+/// (Figures 4–6 at 8KB, Figures 7–9 at 32KB).
+fn filter_comparison(base: SystemConfig, n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for (label, kind) in [
+        ("no-filter", FilterKind::None),
+        ("PA", FilterKind::Pa),
+        ("PC", FilterKind::Pc),
+    ] {
+        grid.extend(all_workloads(label, base.clone().with_filter(kind), n));
+    }
+    grid
+}
+
+/// Figures 4–6: prefetch counts, bad/good ratio, and IPC with the 8KB L1.
+pub fn fig4_5_6(n: u64) -> Vec<RunSpec> {
+    filter_comparison(SystemConfig::paper_default(), n)
+}
+
+/// Figures 7–9: the same comparison with the 32KB (4-cycle) L1.
+pub fn fig7_8_9(n: u64) -> Vec<RunSpec> {
+    filter_comparison(SystemConfig::paper_default().with_l1_32k(), n)
+}
+
+/// History-table sizes swept in §5.3.
+pub const TABLE_SIZES: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
+
+/// Figures 10–12: PA-filter history-table size sweep.
+pub fn fig10_11_12(n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for entries in TABLE_SIZES {
+        let cfg = SystemConfig::paper_default()
+            .with_filter(FilterKind::Pa)
+            .with_table_entries(entries);
+        grid.extend(all_workloads(&format!("{entries}-entry"), cfg, n));
+    }
+    grid
+}
+
+/// L1 port counts swept in §5.4.
+pub const PORT_COUNTS: [usize; 3] = [3, 4, 5];
+
+/// Figures 13–14: L1 port sweep with the PA filter.
+pub fn fig13_14(n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for ports in PORT_COUNTS {
+        let cfg = SystemConfig::paper_default()
+            .with_filter(FilterKind::Pa)
+            .with_l1_ports(ports);
+        grid.extend(all_workloads(&format!("{ports}-port"), cfg, n));
+    }
+    grid
+}
+
+/// Figures 15–16: PA/PC filters with and without the dedicated 16-entry
+/// prefetch buffer.
+pub fn fig15_16(n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for (label, kind, buffer) in [
+        ("PA", FilterKind::Pa, false),
+        ("PA+buffer", FilterKind::Pa, true),
+        ("PC", FilterKind::Pc, false),
+        ("PC+buffer", FilterKind::Pc, true),
+    ] {
+        let mut cfg = SystemConfig::paper_default().with_filter(kind);
+        if buffer {
+            cfg = cfg.with_prefetch_buffer();
+        }
+        grid.extend(all_workloads(label, cfg, n));
+    }
+    grid
+}
+
+/// §5.2.1's per-prefetcher analysis: NSP-only and SDP-only machines, each
+/// without and with the PA filter.
+pub fn nsp_sdp_solo(n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for (name, nsp, sdp) in [("NSP", true, false), ("SDP", false, true)] {
+        for (flabel, kind) in [("no-filter", FilterKind::None), ("PA", FilterKind::Pa)] {
+            let mut cfg = SystemConfig::paper_default().with_filter(kind);
+            cfg.prefetch.nsp = nsp;
+            cfg.prefetch.sdp = sdp;
+            cfg.prefetch.software = false;
+            grid.extend(all_workloads(&format!("{name}/{flabel}"), cfg, n));
+        }
+    }
+    grid
+}
+
+/// §5.2.1's "1KB history table vs more cache" comparison: the default 8KB
+/// machine without filter, with the PA filter, and a 16KB no-filter machine.
+pub fn cache_vs_table(n: u64) -> Vec<RunSpec> {
+    let mut grid = all_workloads("8KB/no-filter", SystemConfig::paper_default(), n);
+    grid.extend(all_workloads(
+        "8KB+PA-1KB",
+        SystemConfig::paper_default().with_filter(FilterKind::Pa),
+        n,
+    ));
+    grid.extend(all_workloads(
+        "16KB/no-filter",
+        SystemConfig::paper_default().with_l1_16k(),
+        n,
+    ));
+    grid
+}
+
+/// Ablation grids (extensions beyond the paper; DESIGN.md §7). Each
+/// returns labelled cells over all ten workloads; the first label is the
+/// baseline the summary compares against.
+pub mod ablations {
+    use super::*;
+
+    /// Saturating-counter width: 1/2/3 bits (paper: 2), PA filter.
+    pub fn counter_width(n: u64) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for bits in [2u8, 1, 3] {
+            let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+            cfg.filter.counter_bits = bits;
+            grid.extend(all_workloads(&format!("{bits}-bit"), cfg, n));
+        }
+        grid
+    }
+
+    /// Shared history table (paper) vs one table per prefetch source at
+    /// the same total budget.
+    pub fn split_tables(n: u64) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for (label, split) in [("shared", false), ("split", true)] {
+            for kind in [FilterKind::Pa, FilterKind::Pc] {
+                let mut cfg = SystemConfig::paper_default().with_filter(kind);
+                cfg.filter.split_by_source = split;
+                grid.extend(all_workloads(&format!("{}/{label}", kind.label()), cfg, n));
+            }
+        }
+        grid
+    }
+
+    /// Misprediction recovery on (default) vs off (the strict, absorbing
+    /// reading of the paper).
+    pub fn recovery(n: u64) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for (label, window) in [("recovery", 400u64), ("strict", 0)] {
+            let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+            cfg.filter.recovery_window = window;
+            grid.extend(all_workloads(label, cfg, n));
+        }
+        grid
+    }
+
+    /// Adaptive engagement (§5.2.1 "advanced features") vs always-on.
+    pub fn adaptive(n: u64) -> Vec<RunSpec> {
+        let mut grid = all_workloads(
+            "always-on",
+            SystemConfig::paper_default().with_filter(FilterKind::Pa),
+            n,
+        );
+        let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+        cfg.filter.adaptive_accuracy_threshold = Some(0.5);
+        grid.extend(all_workloads("adaptive@0.5", cfg, n));
+        grid
+    }
+
+    /// L1 associativity: the paper's direct-mapped L1 vs 2- and 4-way at
+    /// the same capacity (no filter — isolates the conflict-miss effect).
+    pub fn associativity(n: u64) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for ways in [1usize, 2, 4] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.l1.ways = ways;
+            grid.extend(all_workloads(&format!("{ways}-way"), cfg, n));
+        }
+        grid
+    }
+
+    /// A small victim cache as the alternative conflict-miss fix, compared
+    /// with the pollution filter (and their combination).
+    pub fn victim_cache(n: u64) -> Vec<RunSpec> {
+        let mut grid = all_workloads("baseline", SystemConfig::paper_default(), n);
+        grid.extend(all_workloads(
+            "victim8",
+            SystemConfig::paper_default().with_victim_cache(8),
+            n,
+        ));
+        grid.extend(all_workloads(
+            "PA",
+            SystemConfig::paper_default().with_filter(FilterKind::Pa),
+            n,
+        ));
+        grid.extend(all_workloads(
+            "PA+victim8",
+            SystemConfig::paper_default()
+                .with_filter(FilterKind::Pa)
+                .with_victim_cache(8),
+            n,
+        ));
+        grid
+    }
+
+    /// Indexing scheme: the paper's PA and PC filters vs the tournament
+    /// hybrid extension (same total counter budget).
+    pub fn hybrid(n: u64) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for kind in [FilterKind::Pa, FilterKind::Pc, FilterKind::Hybrid] {
+            grid.extend(all_workloads(
+                kind.label(),
+                SystemConfig::paper_default().with_filter(kind),
+                n,
+            ));
+        }
+        grid
+    }
+
+    /// Counter initialization (§5.3's "assumed good" choice) vs the
+    /// alternatives.
+    pub fn counter_init(n: u64) -> Vec<RunSpec> {
+        use ppf_types::CounterInit;
+        let mut grid = Vec::new();
+        for (label, init) in [
+            ("weakly-good", CounterInit::WeaklyGood),
+            ("strongly-good", CounterInit::StronglyGood),
+            ("weakly-bad", CounterInit::WeaklyBad),
+        ] {
+            let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+            cfg.filter.counter_init = init;
+            grid.extend(all_workloads(label, cfg, n));
+        }
+        grid
+    }
+
+    /// NSP aggressiveness: degree 1 (paper) vs 4.
+    pub fn nsp_degree(n: u64) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for degree in [1u32, 4] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.prefetch.nsp_degree = degree;
+            grid.extend(all_workloads(&format!("degree-{degree}"), cfg, n));
+        }
+        grid
+    }
+
+    /// DRAM banking: the paper's unlimited-concurrency memory vs 4 and 8
+    /// line-interleaved banks.
+    pub fn dram_banks(n: u64) -> Vec<RunSpec> {
+        let mut grid = all_workloads("unbanked", SystemConfig::paper_default(), n);
+        for banks in [4usize, 8] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.mem.banks = banks;
+            grid.extend(all_workloads(&format!("{banks}-bank"), cfg, n));
+        }
+        grid
+    }
+
+    /// Prefetcher mix: the paper's NSP+SDP+SW vs adding the stride RPT and
+    /// the Markov correlation prefetcher.
+    pub fn prefetcher_mix(n: u64) -> Vec<RunSpec> {
+        let mut grid = all_workloads("paper-mix", SystemConfig::paper_default(), n);
+        let mut stride = SystemConfig::paper_default();
+        stride.prefetch.stride = true;
+        grid.extend(all_workloads("+stride", stride, n));
+        let mut corr = SystemConfig::paper_default();
+        corr.prefetch.correlation = true;
+        grid.extend(all_workloads("+correlation", corr, n));
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 5_000; // tiny budget: these tests exercise plumbing
+
+    #[test]
+    fn grids_have_expected_shapes() {
+        assert_eq!(table2(N).len(), 10);
+        assert_eq!(fig1_2(N).len(), 10);
+        assert_eq!(fig4_5_6(N).len(), 30);
+        assert_eq!(fig7_8_9(N).len(), 30);
+        assert_eq!(fig10_11_12(N).len(), 50);
+        assert_eq!(fig13_14(N).len(), 30);
+        assert_eq!(fig15_16(N).len(), 40);
+        assert_eq!(nsp_sdp_solo(N).len(), 40);
+        assert_eq!(cache_vs_table(N).len(), 30);
+    }
+
+    #[test]
+    fn ablation_grids_validate_and_have_shape() {
+        for (grid, cells) in [
+            (ablations::counter_width(N), 30),
+            (ablations::counter_init(N), 30),
+            (ablations::split_tables(N), 40),
+            (ablations::recovery(N), 20),
+            (ablations::adaptive(N), 20),
+            (ablations::associativity(N), 30),
+            (ablations::victim_cache(N), 40),
+            (ablations::nsp_degree(N), 20),
+            (ablations::dram_banks(N), 30),
+            (ablations::hybrid(N), 30),
+            (ablations::prefetcher_mix(N), 30),
+        ] {
+            assert_eq!(grid.len(), cells);
+            for spec in &grid {
+                spec.config.validate().expect("ablation config valid");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_configs_validate() {
+        for spec in fig4_5_6(N)
+            .into_iter()
+            .chain(fig7_8_9(N))
+            .chain(fig10_11_12(N))
+            .chain(fig13_14(N))
+            .chain(fig15_16(N))
+        {
+            spec.config.validate().expect("grid config valid");
+        }
+    }
+
+    #[test]
+    fn run_grid_preserves_order_and_labels() {
+        let specs: Vec<RunSpec> = fig1_2(N).into_iter().take(4).collect();
+        let expected: Vec<(String, String)> = specs
+            .iter()
+            .map(|s| (s.label.clone(), s.workload.name().to_string()))
+            .collect();
+        let reports = run_grid(specs);
+        let got: Vec<(String, String)> = reports
+            .iter()
+            .map(|r| (r.label.clone(), r.workload.clone()))
+            .collect();
+        assert_eq!(got, expected);
+        assert!(reports.iter().all(|r| r.stats.instructions >= N));
+    }
+
+    #[test]
+    fn run_grid_matches_sequential() {
+        let specs: Vec<RunSpec> = fig1_2(N).into_iter().take(3).collect();
+        let seq: Vec<SimReport> = specs.iter().map(RunSpec::run).collect();
+        let par = run_grid(specs);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.stats, b.stats, "parallelism must not change results");
+        }
+    }
+
+    #[test]
+    fn empty_grid() {
+        assert!(run_grid(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn seed_averaging_merges_counters() {
+        let specs: Vec<RunSpec> = fig1_2(N).into_iter().take(2).collect();
+        let single = run_grid(specs.clone());
+        let averaged = run_grid_seeds(specs, 3);
+        assert_eq!(averaged.len(), single.len());
+        for (a, s) in averaged.iter().zip(single.iter()) {
+            assert_eq!(a.label, s.label);
+            // Each of the 3 seed runs retires at least N instructions
+            // (retirement overshoot varies per seed, so compare to N).
+            assert!(a.stats.instructions >= 3 * N);
+            // Rates stay in the same ballpark across seeds.
+            assert!((a.stats.l1.miss_rate() - s.stats.l1.miss_rate()).abs() < 0.05);
+        }
+    }
+}

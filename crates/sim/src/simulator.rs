@@ -1,0 +1,523 @@
+//! The machine of Figure 3: core + L1/L2 + prefetchers + pollution filter.
+//!
+//! Per-cycle schedule (one [`Simulator::run`] loop iteration):
+//!
+//! 1. The core retires, issues and fetches. Demand memory ops arbitrate for
+//!    L1 ports through [`MemSystem::try_access`]; software prefetches are
+//!    identified at issue and routed to the filter via
+//!    [`MemSystem::software_prefetch`].
+//! 2. The prefetch queue drains through whatever L1 ports demand traffic
+//!    left free this cycle ([`MemSystem::drain_prefetch_queue`]) — the port
+//!    competition at the heart of §5.4.
+//!
+//! Every prefetch candidate flows: generator → duplicate squash → pollution
+//! filter → prefetch queue → port arbitration → L1 fill with provenance.
+//! Every L1 eviction of a prefetched line (and the end-of-run drain) flows
+//! back into the filter's history table and the good/bad census.
+
+use ppf_cpu::{Core, InstStream, MemoryPort};
+use ppf_filter::PollutionFilter;
+use ppf_mem::cache::Evicted;
+use ppf_mem::hierarchy::{AccessKind, Hierarchy};
+use ppf_mem::ports::PortArbiter;
+use ppf_mem::queue::{PrefetchQueue, PushOutcome};
+use ppf_prefetch::{
+    software, AccessEvent, ComposedPrefetcher, CorrelationPrefetcher, NextSequencePrefetcher,
+    Prefetcher, ShadowDirectoryPrefetcher, StridePrefetcher,
+};
+use ppf_types::{Addr, Cycle, LineAddr, Pc, PrefetchRequest, SimStats, SystemConfig};
+
+use crate::report::SimReport;
+
+/// Hard ceiling on cycles per retired instruction before the run is
+/// declared wedged (indicates a simulator bug, not a slow workload).
+const MAX_CPI: u64 = 10_000;
+
+/// The memory-side half of the machine (everything below the LSQ).
+pub struct MemSystem {
+    hierarchy: Hierarchy,
+    l1_ports: PortArbiter,
+    queue: PrefetchQueue,
+    filter: PollutionFilter,
+    hw: ComposedPrefetcher,
+    software_enabled: bool,
+    line_bytes: u32,
+    /// Scratch buffer for generator output (reused; hot path stays
+    /// allocation-free after warm-up).
+    scratch: Vec<PrefetchRequest>,
+    /// Last cycle a demand port conflict was counted (one count per cycle).
+    last_conflict_cycle: Cycle,
+    /// Last instruction line fetched (fetch-group de-duplication).
+    last_fetch_line: Option<LineAddr>,
+    /// Memory-side statistics (merged with core stats in the report).
+    pub stats: SimStats,
+}
+
+impl MemSystem {
+    /// Build the memory system for `cfg`.
+    pub fn new(cfg: &SystemConfig, seed: u64) -> Self {
+        let mut generators: Vec<Box<dyn Prefetcher>> = Vec::new();
+        if cfg.prefetch.nsp {
+            generators.push(Box::new(NextSequencePrefetcher::with_degree(
+                cfg.prefetch.nsp_degree.max(1),
+            )));
+        }
+        if cfg.prefetch.sdp {
+            generators.push(Box::new(ShadowDirectoryPrefetcher::new(
+                cfg.l2.lines().next_power_of_two(),
+            )));
+        }
+        if cfg.prefetch.stride {
+            generators.push(Box::new(StridePrefetcher::new(256, cfg.l1.line_bytes)));
+        }
+        if cfg.prefetch.correlation {
+            generators.push(Box::new(CorrelationPrefetcher::new(4096)));
+        }
+        MemSystem {
+            hierarchy: Hierarchy::new(cfg, seed),
+            l1_ports: PortArbiter::new(cfg.l1.ports),
+            queue: PrefetchQueue::new(cfg.prefetch.queue_len),
+            filter: PollutionFilter::new(&cfg.filter),
+            hw: ComposedPrefetcher::new(generators),
+            software_enabled: cfg.prefetch.software,
+            line_bytes: cfg.l1.line_bytes,
+            scratch: Vec::with_capacity(8),
+            last_conflict_cycle: u64::MAX,
+            last_fetch_line: None,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Immutable view of the pollution filter (for diagnostics).
+    pub fn filter(&self) -> &PollutionFilter {
+        &self.filter
+    }
+
+    /// Mutable view of the pollution filter (to enable tracing).
+    pub fn filter_mut(&mut self) -> &mut PollutionFilter {
+        &mut self.filter
+    }
+
+    /// Record the good/bad outcome of an evicted prefetched line and train
+    /// the filter — the PIB/RIB feedback path of §4.
+    fn feedback_eviction(&mut self, ev: &Evicted) {
+        if let Some((origin, referenced)) = ev.prefetch {
+            if referenced {
+                self.stats.prefetch_good.bump(origin.source);
+            } else {
+                self.stats.prefetch_bad.bump(origin.source);
+            }
+            self.filter.on_eviction(&origin, referenced);
+        }
+    }
+
+    /// Offer a candidate prefetch: duplicate squash → filter → queue.
+    fn submit_prefetch(&mut self, req: PrefetchRequest, now: Cycle) {
+        self.stats.prefetches_proposed.bump(req.source);
+        if self.hierarchy.prefetch_target_resident(req.line) || self.queue.contains(req.line) {
+            self.stats.prefetches_duplicate.bump(req.source);
+            return;
+        }
+        if !self.filter.should_prefetch(&req, now) {
+            self.stats.prefetches_filtered.bump(req.source);
+            return;
+        }
+        match self.queue.push(req) {
+            PushOutcome::Enqueued => {}
+            PushOutcome::Duplicate => self.stats.prefetches_duplicate.bump(req.source),
+            PushOutcome::Overflow => self.stats.prefetches_queue_overflow.bump(req.source),
+        }
+    }
+
+    /// Pop prefetches into free L1 ports for cycle `now` (called after the
+    /// core's demand traffic has claimed its ports).
+    pub fn drain_prefetch_queue(&mut self, now: Cycle) {
+        loop {
+            let Some(front) = self.queue.front() else {
+                return;
+            };
+            // Squash duplicates for free ("no penalty", §5.1) before
+            // spending a port on them.
+            if self.hierarchy.prefetch_target_resident(front.line) {
+                let req = self.queue.pop().expect("front exists");
+                self.stats.prefetches_duplicate.bump(req.source);
+                continue;
+            }
+            if !self.l1_ports.try_acquire(now) {
+                self.stats.prefetch_port_retries += 1;
+                return;
+            }
+            let req = self.queue.pop().expect("front exists");
+            let issue = self.hierarchy.issue_prefetch(&req, now, &mut self.stats);
+            if issue.duplicate {
+                self.stats.prefetches_duplicate.bump(req.source);
+                continue;
+            }
+            self.stats.prefetches_issued.bump(req.source);
+            if let Some(ev) = issue.l1_evicted {
+                self.feedback_eviction(&ev);
+            }
+            if let Some(bev) = issue.buffer_evicted {
+                self.stats.prefetch_bad.bump(bev.origin.source);
+                self.filter.on_eviction(&bev.origin, bev.referenced);
+            }
+        }
+    }
+
+    /// End-of-run census: classify lines still resident in the L1 and the
+    /// prefetch buffer so Figure 1's totals cover *all* prefetches.
+    pub fn drain_final(&mut self) {
+        for ev in self.hierarchy.drain_l1() {
+            self.feedback_eviction(&ev);
+        }
+        for ev in self.hierarchy.drain_victim() {
+            self.feedback_eviction(&ev);
+        }
+        for bev in self.hierarchy.drain_buffer() {
+            self.stats.prefetch_bad.bump(bev.origin.source);
+            self.filter.on_eviction(&bev.origin, bev.referenced);
+        }
+    }
+}
+
+impl MemoryPort for MemSystem {
+    fn try_access(&mut self, pc: Pc, addr: Addr, is_store: bool, now: Cycle) -> Option<Cycle> {
+        if !self.l1_ports.try_acquire(now) {
+            self.stats.demand_port_retries += 1;
+            if self.last_conflict_cycle != now {
+                self.last_conflict_cycle = now;
+                self.stats.l1_port_conflict_cycles += 1;
+            }
+            return None;
+        }
+        let line = LineAddr::of(addr, self.line_bytes);
+        let kind = if is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let res = self
+            .hierarchy
+            .demand_access(line, kind, now, &mut self.stats);
+        if !res.l1_hit && res.from_buffer.is_none() {
+            // Misprediction recovery: this miss may be a prefetch the
+            // filter wrongly rejected (see ppf-filter's recovery module).
+            self.filter.on_demand_miss(line, now);
+        }
+        if let Some(ev) = res.l1_evicted {
+            self.feedback_eviction(&ev);
+        }
+        if let Some(origin) = res.from_buffer {
+            // A demand hit in the dedicated prefetch buffer is by
+            // definition a good prefetch; train the filter accordingly.
+            self.stats.prefetch_good.bump(origin.source);
+            self.filter.on_eviction(&origin, true);
+        }
+        if let Some(record) = res.from_victim {
+            // A prefetched line recovered from the victim cache was
+            // referenced after all: classify good (it re-enters the L1 as
+            // a demand line, so this is its final classification).
+            if let Some((origin, _)) = record.prefetch {
+                self.stats.prefetch_good.bump(origin.source);
+                self.filter.on_eviction(&origin, true);
+            }
+        }
+        // Trigger the hardware prefetchers on this access.
+        let event = AccessEvent {
+            pc,
+            addr,
+            line,
+            l1_hit: res.l1_hit,
+            nsp_tagged_hit: res.l1_probe.map(|p| p.nsp_tagged).unwrap_or(false),
+            l2_accessed: res.l2_hit.is_some(),
+            l2_hit: res.l2_hit.unwrap_or(false),
+            is_store,
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.hw.on_access(&event, &mut scratch);
+        for req in scratch.drain(..) {
+            self.submit_prefetch(req, now);
+        }
+        self.scratch = scratch;
+        Some(res.complete_at)
+    }
+
+    fn fetch_access(&mut self, pc: Pc, now: Cycle) -> Cycle {
+        let line = LineAddr::of(pc, self.line_bytes);
+        // Sequential fetch touches the same line several times per group;
+        // only the first lookup per line is architecturally interesting.
+        if self.last_fetch_line == Some(line) {
+            return now;
+        }
+        self.last_fetch_line = Some(line);
+        self.hierarchy.inst_access(line, now, &mut self.stats)
+    }
+
+    fn software_prefetch(&mut self, pc: Pc, addr: Addr, now: Cycle) {
+        if !self.software_enabled {
+            return;
+        }
+        let req = software::request_for(pc, addr, self.line_bytes);
+        self.submit_prefetch(req, now);
+    }
+}
+
+/// One simulated machine plus its workload stream.
+pub struct Simulator {
+    core: Core,
+    mem: MemSystem,
+    stream: Box<dyn InstStream>,
+    cfg: SystemConfig,
+    label: String,
+    workload_name: String,
+    seed: u64,
+    now: Cycle,
+    /// Cycle at the last stats reset (IPC is measured from here).
+    cycle_base: Cycle,
+    core_stats: SimStats,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg` running `stream`. Fails if the config is
+    /// structurally invalid.
+    pub fn new(cfg: SystemConfig, stream: impl InstStream + 'static) -> Result<Self, String> {
+        Self::with_seed(cfg, Box::new(stream), 0)
+    }
+
+    /// Build with an explicit seed (feeds random replacement, if selected).
+    pub fn with_seed(
+        cfg: SystemConfig,
+        stream: Box<dyn InstStream>,
+        seed: u64,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Simulator {
+            core: Core::new(&cfg.core),
+            mem: MemSystem::new(&cfg, seed),
+            stream,
+            label: String::new(),
+            workload_name: String::new(),
+            seed,
+            cfg,
+            now: 0,
+            cycle_base: 0,
+            core_stats: SimStats::default(),
+        })
+    }
+
+    /// Run `n` instructions as cache/predictor/filter warm-up, then zero
+    /// all statistics. Steady-state measurement after warm-up is the
+    /// standard methodology for short simulations standing in for the
+    /// paper's 300M-instruction runs (compulsory misses would otherwise
+    /// dominate the L2 numbers).
+    pub fn warmup(&mut self, n: u64) {
+        let target = self.core_stats.instructions + n;
+        while self.core_stats.instructions < target {
+            self.now += 1;
+            if self.now.is_multiple_of(2) {
+                self.mem.drain_prefetch_queue(self.now);
+            }
+            self.core.tick(
+                self.now,
+                &mut *self.stream,
+                &mut self.mem,
+                &mut self.core_stats,
+            );
+            self.mem.drain_prefetch_queue(self.now);
+        }
+        self.core_stats = SimStats::default();
+        self.mem.stats = SimStats::default();
+        self.cycle_base = self.now;
+    }
+
+    /// Attach report labels (experiment + workload names).
+    pub fn labeled(mut self, label: impl Into<String>, workload: impl Into<String>) -> Self {
+        self.label = label.into();
+        self.workload_name = workload.into();
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory-side half of the machine (diagnostics: filter state,
+    /// queue occupancy).
+    pub fn mem_system(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system (diagnostics: enable filter
+    /// tracing before a run).
+    pub fn mem_system_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Run until `n_instructions` have retired (cumulative across calls);
+    /// returns the report including the end-of-run prefetch census.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops retiring instructions entirely (a
+    /// simulator bug, surfaced loudly rather than looping forever).
+    pub fn run(&mut self, n_instructions: u64) -> SimReport {
+        let target = self.core_stats.instructions + n_instructions;
+        let deadline = self.now + n_instructions.max(1) * MAX_CPI;
+        while self.core_stats.instructions < target {
+            self.now += 1;
+            // The prefetch queue and the LSQ share the universal L1 ports
+            // (Figure 3). Arbitration alternates priority each cycle so
+            // prefetch traffic genuinely competes with demand accesses —
+            // the contention the paper's filter exists to relieve (§5.4).
+            if self.now.is_multiple_of(2) {
+                self.mem.drain_prefetch_queue(self.now);
+            }
+            self.core.tick(
+                self.now,
+                &mut *self.stream,
+                &mut self.mem,
+                &mut self.core_stats,
+            );
+            self.mem.drain_prefetch_queue(self.now);
+            assert!(
+                self.now < deadline,
+                "simulator wedged: {} instructions after {} cycles",
+                self.core_stats.instructions,
+                self.now
+            );
+        }
+        self.mem.drain_final();
+        // Core and memory stats touch disjoint counters; merging adds the
+        // memory side into the core-side snapshot.
+        let mut stats = self.core_stats.clone();
+        stats.merge(&self.mem.stats);
+        stats.instructions = self.core_stats.instructions;
+        stats.cycles = self.now - self.cycle_base;
+        SimReport {
+            label: self.label.clone(),
+            workload: self.workload_name.clone(),
+            seed: self.seed,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_types::FilterKind;
+    use ppf_workloads::Workload;
+
+    const N: u64 = 60_000;
+
+    fn run(cfg: SystemConfig, w: Workload) -> SimReport {
+        let mut sim = Simulator::with_seed(cfg, Box::new(w.stream(42)), 42).expect("valid config");
+        sim.run(N)
+    }
+
+    #[test]
+    fn baseline_machine_runs_and_reports() {
+        let r = run(SystemConfig::paper_default(), Workload::Em3d);
+        assert!(r.stats.instructions >= N);
+        assert!(r.stats.cycles > 0);
+        let ipc = r.stats.ipc();
+        assert!(ipc > 0.05 && ipc < 8.0, "ipc={ipc}");
+        assert!(r.stats.l1.demand_accesses > 0);
+    }
+
+    #[test]
+    fn prefetchers_generate_traffic() {
+        let r = run(SystemConfig::paper_default(), Workload::Wave5);
+        assert!(
+            r.stats.prefetches_proposed.total() > 100,
+            "{:?}",
+            r.stats.prefetches_proposed
+        );
+        assert!(r.stats.prefetches_issued.total() > 100);
+        // Census covers every issued prefetch (good + bad = classified).
+        let classified = r.stats.good_total() + r.stats.bad_total();
+        assert!(classified > 0);
+    }
+
+    #[test]
+    fn census_conservation() {
+        // Every issued prefetch is eventually classified good or bad
+        // (evicted during the run or drained at the end) — except the few
+        // squashed at issue as late duplicates.
+        let r = run(SystemConfig::paper_default(), Workload::Mcf);
+        let issued = r.stats.prefetches_issued.total();
+        let classified = r.stats.good_total() + r.stats.bad_total();
+        assert!(
+            classified <= issued,
+            "classified {classified} > issued {issued}"
+        );
+        let coverage = classified as f64 / issued as f64;
+        assert!(coverage > 0.95, "census coverage {coverage}");
+    }
+
+    #[test]
+    fn filter_reduces_bad_prefetches_on_pointer_chase() {
+        // Longer run than the other tests: the history table only starts
+        // rejecting once most line addresses have been trained at least
+        // twice (em3d's footprint is 4096 lines).
+        let n = 400_000;
+        let run = |cfg: SystemConfig| {
+            Simulator::with_seed(cfg, Box::new(Workload::Em3d.stream(42)), 42)
+                .expect("valid config")
+                .run(n)
+        };
+        let base = run(SystemConfig::paper_default());
+        let pa = run(SystemConfig::paper_default().with_filter(FilterKind::Pa));
+        assert!(base.stats.bad_total() > 0);
+        assert!(
+            (pa.stats.bad_total() as f64) < 0.5 * base.stats.bad_total() as f64,
+            "PA filter must kill most bad prefetches: {} vs {}",
+            pa.stats.bad_total(),
+            base.stats.bad_total()
+        );
+        assert!(pa.stats.prefetches_filtered.total() > 0);
+    }
+
+    #[test]
+    fn prefetch_off_machine_issues_nothing() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.prefetch = ppf_types::PrefetchConfig::disabled();
+        let r = run(cfg, Workload::Gzip);
+        assert_eq!(r.stats.prefetches_proposed.total(), 0);
+        assert_eq!(r.stats.prefetches_issued.total(), 0);
+        assert_eq!(r.stats.good_total() + r.stats.bad_total(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(SystemConfig::paper_default(), Workload::Gcc);
+        let b = run(SystemConfig::paper_default(), Workload::Gcc);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn buffer_machine_uses_buffer() {
+        let cfg = SystemConfig::paper_default().with_prefetch_buffer();
+        let r = run(cfg, Workload::Wave5);
+        assert!(
+            r.stats.buffer_hits > 0 || r.stats.buffer_bad_evictions > 0,
+            "buffer must see traffic"
+        );
+    }
+
+    #[test]
+    fn run_is_resumable() {
+        let mut sim = Simulator::with_seed(
+            SystemConfig::paper_default(),
+            Box::new(Workload::Bh.stream(7)),
+            7,
+        )
+        .unwrap();
+        let r1 = sim.run(10_000);
+        let r2 = sim.run(10_000);
+        assert!(r2.stats.instructions >= 2 * 10_000);
+        assert!(r2.stats.cycles > r1.stats.cycles);
+    }
+}

@@ -1,0 +1,622 @@
+//! System configuration, mirroring Table 1 of the paper.
+//!
+//! [`SystemConfig::paper_default`] reproduces the paper's default machine: an
+//! 8-wide out-of-order core with a 128-entry ROB and 64-entry LSQ, an 8KB
+//! direct-mapped 1-cycle L1 with 3 universal ports, a 512KB 4-way 15-cycle
+//! L2, 150-cycle main memory behind a 64-byte bus, a 64-entry prefetch queue
+//! and a 4096-entry (1KB) pollution-filter history table.
+//!
+//! The named constructors (`with_l1_32k`, `with_l1_ports`, ...) produce the
+//! exact variant machines evaluated in §5.2.2–§5.5.
+
+use serde::{Deserialize, Serialize};
+
+/// Branch-prediction front-end parameters (Table 1: bimodal 2048 entries,
+/// BTB 4-way × 4096 sets).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchConfig {
+    /// Entries in the bimodal 2-bit-counter table. Power of two.
+    pub bimodal_entries: usize,
+    /// BTB sets. Power of two.
+    pub btb_sets: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// Cycles of fetch redirect penalty on a mispredict, charged after the
+    /// branch resolves.
+    pub mispredict_penalty: u64,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            bimodal_entries: 2048,
+            btb_sets: 4096,
+            btb_ways: 4,
+            mispredict_penalty: 7,
+        }
+    }
+}
+
+/// Out-of-order core parameters (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched/dispatched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued per cycle (Table 1: 8).
+    pub issue_width: usize,
+    /// Instructions retired per cycle (Table 1: 8).
+    pub retire_width: usize,
+    /// Reorder-buffer entries (Table 1: 128).
+    pub rob_entries: usize,
+    /// Load/store-queue entries (Table 1: 64).
+    pub lsq_entries: usize,
+    /// Integer ALU count.
+    pub int_alus: usize,
+    /// Floating-point unit count.
+    pub fp_alus: usize,
+    /// Integer op latency in cycles.
+    pub int_latency: u64,
+    /// Floating-point op latency in cycles.
+    pub fp_latency: u64,
+    /// Branch predictor configuration.
+    pub branch: BranchConfig,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            retire_width: 8,
+            rob_entries: 128,
+            lsq_entries: 64,
+            int_alus: 8,
+            fp_alus: 4,
+            int_latency: 1,
+            fp_latency: 4,
+            branch: BranchConfig::default(),
+        }
+    }
+}
+
+/// One cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (Table 1: 32 for both levels).
+    pub line_bytes: u32,
+    /// Associativity; 1 = direct-mapped.
+    pub ways: usize,
+    /// Access latency in core cycles.
+    pub hit_latency: u64,
+    /// Number of universal (read/write) ports. The prefetch queue competes
+    /// with demand accesses for these.
+    pub ports: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size/line/ways.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes as usize;
+        lines / self.ways
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_bytes as usize
+    }
+
+    /// Validate structural constraints (power-of-two geometry, nonzero).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line_bytes {} not a power of two", self.line_bytes));
+        }
+        if self.ways == 0 || self.ports == 0 {
+            return Err("ways and ports must be nonzero".into());
+        }
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes as usize * self.ways)
+        {
+            return Err("size must be divisible by line_bytes * ways".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("set count {} not a power of two", self.sets()));
+        }
+        Ok(())
+    }
+}
+
+/// Main-memory and bus parameters (Table 1: 150 cycles, 64-byte bus).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Leadoff latency in core cycles.
+    pub latency: u64,
+    /// Bus width in bytes; a transfer of `n` bytes occupies the bus for
+    /// `ceil(n / bus_bytes)` bus slots.
+    pub bus_bytes: u32,
+    /// Core cycles per bus slot.
+    pub bus_cycle: u64,
+    /// DRAM banks (power of two). `0` = the paper's model: unlimited
+    /// concurrency behind the bus. With banks, each access occupies its
+    /// bank (line-interleaved) for `bank_busy` cycles — an ablation knob
+    /// for memory-level-parallelism limits.
+    pub banks: usize,
+    /// Cycles a bank stays busy per access (only with `banks > 0`).
+    pub bank_busy: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            latency: 150,
+            bus_bytes: 64,
+            bus_cycle: 1,
+            banks: 0,
+            bank_busy: 40,
+        }
+    }
+}
+
+/// Which prefetch generators are active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Next-sequence (tagged next-line) hardware prefetcher.
+    pub nsp: bool,
+    /// NSP prefetch degree: sequential lines fetched per trigger. The
+    /// paper's NSP is the classic tagged next-line scheme (degree 1);
+    /// higher degrees are used by the aggressiveness ablation bench.
+    pub nsp_degree: u32,
+    /// Shadow-directory hardware prefetcher.
+    pub sdp: bool,
+    /// Stride (RPT) prefetcher — extension, off by default.
+    pub stride: bool,
+    /// Markov miss-correlation prefetcher (Charney & Reeves) — extension,
+    /// off by default; shares the stride stats slot.
+    pub correlation: bool,
+    /// Honor software prefetch instructions from the workload.
+    pub software: bool,
+    /// Prefetch queue length (Table 1: 64).
+    pub queue_len: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            nsp: true,
+            nsp_degree: 1,
+            sdp: true,
+            stride: false,
+            correlation: false,
+            software: true,
+            queue_len: 64,
+        }
+    }
+}
+
+impl PrefetchConfig {
+    /// A configuration with every generator disabled (used for Table 2's
+    /// prefetch-off miss-rate characterization).
+    pub fn disabled() -> Self {
+        PrefetchConfig {
+            nsp: false,
+            nsp_degree: 1,
+            sdp: false,
+            stride: false,
+            correlation: false,
+            software: false,
+            queue_len: 64,
+        }
+    }
+
+    /// True if any generator is active.
+    pub fn any_enabled(&self) -> bool {
+        self.nsp || self.sdp || self.stride || self.correlation || self.software
+    }
+}
+
+/// Pollution-filter indexing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterKind {
+    /// No filtering: every prefetch is issued (the paper's baseline).
+    None,
+    /// Per-Address: history table indexed by prefetched line address (§4.1).
+    Pa,
+    /// Program-Counter: indexed by the trigger instruction's PC (§4.2).
+    Pc,
+    /// Tournament hybrid (extension): PA and PC tables side by side, with a
+    /// PC-indexed chooser picking per trigger site — the natural follow-up
+    /// to the paper's observation that PA and PC trade wins per benchmark.
+    Hybrid,
+}
+
+impl FilterKind {
+    /// Short label used in reports ("none" / "PA" / "PC").
+    pub fn label(self) -> &'static str {
+        match self {
+            FilterKind::None => "none",
+            FilterKind::Pa => "PA",
+            FilterKind::Pc => "PC",
+            FilterKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Initial state of the history table's counters — §5.3's "all prefetches
+/// first mapped to the history table are assumed to be good and issued" is
+/// the `WeaklyGood` choice; the alternatives quantify it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterInit {
+    /// Counters start just above the threshold (the paper's choice):
+    /// unseen prefetches are issued, and one bad outcome flips the entry.
+    WeaklyGood,
+    /// Counters start saturated good: unseen prefetches are issued and an
+    /// entry needs two consecutive bad outcomes to flip.
+    StronglyGood,
+    /// Counters start just below the threshold: unseen prefetches are
+    /// *rejected* until recovery or aliasing proves them useful.
+    WeaklyBad,
+}
+
+/// Pollution-filter configuration (Table 1: 4K-entry, 1KB history table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Indexing scheme.
+    pub kind: FilterKind,
+    /// History-table entries. Power of two. 4096 entries × 2 bits = 1KB.
+    pub table_entries: usize,
+    /// Saturating-counter width in bits (paper: 2).
+    pub counter_bits: u8,
+    /// Initial counter state (paper: weakly good).
+    pub counter_init: CounterInit,
+    /// Adaptive engagement (§5.2.1 "advanced features"): filter only when the
+    /// observed prefetch accuracy over a sliding window falls below this
+    /// threshold. `None` (the paper's main configuration) filters always.
+    pub adaptive_accuracy_threshold: Option<f64>,
+    /// Window length (evictions) for the adaptive accuracy estimate.
+    pub adaptive_window: u32,
+    /// Freshness window (in core cycles) for misprediction recovery: a
+    /// demand miss must arrive within this long after the rejection to
+    /// count as "the prefetch would have been referenced before eviction".
+    /// `0` disables recovery — the strict, absorbing reading of the paper,
+    /// kept as an ablation. See `ppf-filter`'s `recovery` module.
+    pub recovery_window: u64,
+    /// Give each prefetch source (NSP/SDP/stride/software) its own history
+    /// table, splitting the same total storage budget four ways. An
+    /// extension ablation (DESIGN.md §7): one source's mispredictions then
+    /// cannot poison another source's counters for the same line/PC.
+    pub split_by_source: bool,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            kind: FilterKind::None,
+            table_entries: 4096,
+            counter_bits: 2,
+            counter_init: CounterInit::WeaklyGood,
+            adaptive_accuracy_threshold: None,
+            adaptive_window: 1024,
+            recovery_window: 400,
+            split_by_source: false,
+        }
+    }
+}
+
+/// Victim cache between L1 and L2 (Jouppi) — ablation hardware for the
+/// direct-mapped L1's conflict misses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VictimConfig {
+    /// When true, L1 evictions pass through a small victim cache.
+    pub enabled: bool,
+    /// Fully-associative entries (Jouppi's sweet spot: 4-16).
+    pub entries: usize,
+}
+
+impl Default for VictimConfig {
+    fn default() -> Self {
+        VictimConfig {
+            enabled: false,
+            entries: 8,
+        }
+    }
+}
+
+/// Dedicated fully-associative prefetch buffer (§5.5; Chen et al.).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// When true, prefetches fill the buffer instead of the L1.
+    pub enabled: bool,
+    /// Buffer entries (paper: 16, fully associative).
+    pub entries: usize,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            enabled: false,
+            entries: 16,
+        }
+    }
+}
+
+/// Complete machine description — Table 1 of the paper plus the filter and
+/// prefetch-buffer options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L1 instruction cache (Table 1: "L1 I/D 8KB"). Instruction misses
+    /// fetch through the same unified L2 and compete for its port.
+    pub l1i: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main memory and bus.
+    pub mem: MemConfig,
+    /// Prefetch generators.
+    pub prefetch: PrefetchConfig,
+    /// Pollution filter.
+    pub filter: FilterConfig,
+    /// Optional dedicated prefetch buffer.
+    pub buffer: BufferConfig,
+    /// Optional victim cache (ablation).
+    pub victim: VictimConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SystemConfig {
+    /// The paper's default machine (Table 1): 8KB direct-mapped 1-cycle L1
+    /// with 3 ports, 512KB 4-way 15-cycle single-ported L2, 150-cycle memory.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            core: CoreConfig::default(),
+            l1: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                ways: 1,
+                hit_latency: 1,
+                ports: 3,
+            },
+            l1i: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                ways: 1,
+                hit_latency: 1,
+                ports: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                line_bytes: 32,
+                ways: 4,
+                hit_latency: 15,
+                ports: 1,
+            },
+            mem: MemConfig::default(),
+            prefetch: PrefetchConfig::default(),
+            filter: FilterConfig::default(),
+            buffer: BufferConfig::default(),
+            victim: VictimConfig::default(),
+        }
+    }
+
+    /// §5.2.2: 32KB L1 variant. The larger array is slower — 4-cycle hits.
+    pub fn with_l1_32k(mut self) -> Self {
+        self.l1.size_bytes = 32 * 1024;
+        self.l1.hit_latency = 4;
+        self
+    }
+
+    /// §5.2.1 comparison point: a 16KB L1 (2-cycle) with no filter.
+    pub fn with_l1_16k(mut self) -> Self {
+        self.l1.size_bytes = 16 * 1024;
+        self.l1.hit_latency = 2;
+        self
+    }
+
+    /// §5.4: vary the universal L1 port count. The paper charges 2-cycle hits
+    /// for 4 ports and 3-cycle hits for 5 ports on the 8KB array.
+    pub fn with_l1_ports(mut self, ports: usize) -> Self {
+        self.l1.ports = ports;
+        self.l1.hit_latency = match ports {
+            0..=3 => 1,
+            4 => 2,
+            _ => 3,
+        };
+        self
+    }
+
+    /// Select the pollution-filter indexing scheme.
+    pub fn with_filter(mut self, kind: FilterKind) -> Self {
+        self.filter.kind = kind;
+        self
+    }
+
+    /// §5.3: vary the history-table length.
+    pub fn with_table_entries(mut self, entries: usize) -> Self {
+        self.filter.table_entries = entries;
+        self
+    }
+
+    /// §5.5: enable the dedicated 16-entry prefetch buffer.
+    pub fn with_prefetch_buffer(mut self) -> Self {
+        self.buffer.enabled = true;
+        self
+    }
+
+    /// Ablation: put a small victim cache between L1 and L2.
+    pub fn with_victim_cache(mut self, entries: usize) -> Self {
+        self.victim.enabled = true;
+        self.victim.entries = entries;
+        self
+    }
+
+    /// Validate all structural constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1.validate().map_err(|e| format!("l1: {e}"))?;
+        self.l1i.validate().map_err(|e| format!("l1i: {e}"))?;
+        self.l2.validate().map_err(|e| format!("l2: {e}"))?;
+        if self.l1.line_bytes != self.l2.line_bytes {
+            // Simplification shared with the paper's setup: both levels use
+            // 32-byte lines, so no sub-line fill logic is modelled.
+            return Err("L1 and L2 line sizes must match".into());
+        }
+        if !self.filter.table_entries.is_power_of_two() {
+            return Err(format!(
+                "filter table entries {} not a power of two",
+                self.filter.table_entries
+            ));
+        }
+        if self.filter.counter_bits == 0 || self.filter.counter_bits > 8 {
+            return Err("counter_bits must be in 1..=8".into());
+        }
+        if !self.core.branch.bimodal_entries.is_power_of_two()
+            || !self.core.branch.btb_sets.is_power_of_two()
+        {
+            return Err("branch predictor tables must be powers of two".into());
+        }
+        if self.core.issue_width == 0 || self.core.rob_entries == 0 || self.core.lsq_entries == 0 {
+            return Err("core widths/windows must be nonzero".into());
+        }
+        if self.filter.kind == FilterKind::Hybrid && self.filter.split_by_source {
+            return Err("hybrid filter and split-by-source are mutually exclusive".into());
+        }
+        if self.buffer.enabled && self.buffer.entries == 0 {
+            return Err("prefetch buffer enabled with zero entries".into());
+        }
+        if self.victim.enabled && self.victim.entries == 0 {
+            return Err("victim cache enabled with zero entries".into());
+        }
+        if self.prefetch.queue_len == 0 {
+            return Err("prefetch queue length must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.core.issue_width, 8);
+        assert_eq!(c.core.rob_entries, 128);
+        assert_eq!(c.core.lsq_entries, 64);
+        assert_eq!(c.core.branch.bimodal_entries, 2048);
+        assert_eq!(c.core.branch.btb_sets, 4096);
+        assert_eq!(c.core.branch.btb_ways, 4);
+        assert_eq!(c.l1.size_bytes, 8 * 1024);
+        assert_eq!(c.l1.line_bytes, 32);
+        assert_eq!(c.l1.ways, 1);
+        assert_eq!(c.l1.hit_latency, 1);
+        assert_eq!(c.l1.ports, 3);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l2.ways, 4);
+        assert_eq!(c.l2.hit_latency, 15);
+        assert_eq!(c.l2.ports, 1);
+        assert_eq!(c.mem.latency, 150);
+        assert_eq!(c.mem.bus_bytes, 64);
+        assert_eq!(c.prefetch.queue_len, 64);
+        assert_eq!(c.filter.table_entries, 4096);
+        assert_eq!(c.filter.counter_bits, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn history_table_is_1kb() {
+        let c = SystemConfig::paper_default();
+        let bits = c.filter.table_entries * c.filter.counter_bits as usize;
+        assert_eq!(bits / 8, 1024); // 1KB, as Table 1 states
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.l1.sets(), 256); // 8KB / 32B, direct-mapped
+        assert_eq!(c.l1.lines(), 256);
+        assert_eq!(c.l2.sets(), 4096); // 512KB / 32B / 4 ways
+        assert_eq!(c.l2.lines(), 16384);
+    }
+
+    #[test]
+    fn variants_follow_section_5() {
+        let c = SystemConfig::paper_default().with_l1_32k();
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.hit_latency, 4);
+        assert!(c.validate().is_ok());
+
+        let c = SystemConfig::paper_default().with_l1_ports(4);
+        assert_eq!(c.l1.ports, 4);
+        assert_eq!(c.l1.hit_latency, 2);
+        let c = SystemConfig::paper_default().with_l1_ports(5);
+        assert_eq!(c.l1.hit_latency, 3);
+
+        let c = SystemConfig::paper_default().with_prefetch_buffer();
+        assert!(c.buffer.enabled);
+        assert_eq!(c.buffer.entries, 16);
+
+        let c = SystemConfig::paper_default().with_l1_16k();
+        assert_eq!(c.l1.size_bytes, 16 * 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut c = SystemConfig::paper_default();
+        c.l1.line_bytes = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_default();
+        c.filter.table_entries = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_default();
+        c.l1.size_bytes = 8 * 1024 + 32; // 257 sets: not a power of two
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_default();
+        c.l2.line_bytes = 64;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_default();
+        c.filter.counter_bits = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_default();
+        c.prefetch.queue_len = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn prefetch_disabled_helper() {
+        let p = PrefetchConfig::disabled();
+        assert!(!p.any_enabled());
+        assert!(PrefetchConfig::default().any_enabled());
+    }
+
+    #[test]
+    fn filter_kind_labels() {
+        assert_eq!(FilterKind::None.label(), "none");
+        assert_eq!(FilterKind::Pa.label(), "PA");
+        assert_eq!(FilterKind::Pc.label(), "PC");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SystemConfig::paper_default()
+            .with_l1_32k()
+            .with_filter(FilterKind::Pa);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

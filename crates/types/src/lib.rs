@@ -1,0 +1,27 @@
+//! Shared vocabulary for the prefetch-pollution-filter (PPF) simulator.
+//!
+//! This crate holds the types every other crate in the workspace agrees on:
+//! addresses and cycles ([`addr`]), system configuration ([`config`]),
+//! statistics counters ([`stats`]), prefetch provenance ([`prefetch`]) and a
+//! small deterministic RNG ([`rng`]) so that simulation results are a pure
+//! function of `(config, workload, seed)`.
+//!
+//! It deliberately has no dependency on the rest of the workspace and only a
+//! `serde` dependency for config/report serialization.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod prefetch;
+pub mod rng;
+pub mod stats;
+
+pub use addr::{Addr, Cycle, LineAddr, Pc};
+pub use config::{
+    BranchConfig, BufferConfig, CacheConfig, CoreConfig, CounterInit, FilterConfig, FilterKind,
+    MemConfig, PrefetchConfig, SystemConfig, VictimConfig,
+};
+pub use prefetch::{PrefetchOrigin, PrefetchRequest, PrefetchSource};
+pub use rng::SplitMix64;
+pub use stats::SimStats;

@@ -1,0 +1,139 @@
+//! Prefetch requests and provenance.
+//!
+//! Every in-flight prefetch carries *where it came from*: the line it
+//! targets, the PC of the instruction that triggered it, and which generator
+//! produced it. The pollution filter needs the line address (PA-based
+//! indexing) and the trigger PC (PC-based indexing) both at issue time (table
+//! lookup) and at eviction time (table update), so the provenance travels
+//! with the cache line as [`PrefetchOrigin`] — the software analogue of the
+//! "separate data path" for the PC that §4.2 of the paper describes.
+
+use crate::addr::{LineAddr, Pc};
+use serde::{Deserialize, Serialize};
+
+/// Which generator produced a prefetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetchSource {
+    /// Next-Sequence Prefetching: tagged next-line prefetch (Smith, 1982).
+    Nsp,
+    /// Shadow-Directory Prefetching (Pomerene et al., 1989).
+    Sdp,
+    /// Reference-prediction-table stride prefetcher (Chen & Baer, 1995).
+    /// Extension beyond the paper, used in ablations.
+    Stride,
+    /// Compiler-inserted software prefetch instruction, identified in the LSQ.
+    Software,
+}
+
+impl PrefetchSource {
+    /// Stable index for per-source statistics arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PrefetchSource::Nsp => 0,
+            PrefetchSource::Sdp => 1,
+            PrefetchSource::Stride => 2,
+            PrefetchSource::Software => 3,
+        }
+    }
+
+    /// Number of distinct sources (length of per-source stats arrays).
+    pub const COUNT: usize = 4;
+
+    /// All sources, in `index()` order.
+    pub const ALL: [PrefetchSource; Self::COUNT] = [
+        PrefetchSource::Nsp,
+        PrefetchSource::Sdp,
+        PrefetchSource::Stride,
+        PrefetchSource::Software,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetchSource::Nsp => "nsp",
+            PrefetchSource::Sdp => "sdp",
+            PrefetchSource::Stride => "stride",
+            PrefetchSource::Software => "software",
+        }
+    }
+}
+
+/// A candidate prefetch emitted by a generator, before filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Target cache line.
+    pub line: LineAddr,
+    /// PC of the triggering instruction (the software prefetch instruction
+    /// itself, or the memory instruction that tripped a hardware prefetcher).
+    pub trigger_pc: Pc,
+    /// Generator that produced the request.
+    pub source: PrefetchSource,
+}
+
+impl PrefetchRequest {
+    /// Provenance record to attach to the cache line once the prefetch fills.
+    #[inline]
+    pub fn origin(&self) -> PrefetchOrigin {
+        PrefetchOrigin {
+            line: self.line,
+            trigger_pc: self.trigger_pc,
+            source: self.source,
+        }
+    }
+}
+
+/// Provenance stored with a prefetched cache line for eviction-time feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchOrigin {
+    /// The line that was prefetched (PA-based filter index).
+    pub line: LineAddr,
+    /// The triggering PC (PC-based filter index).
+    pub trigger_pc: Pc,
+    /// Generator that produced the prefetch.
+    pub source: PrefetchSource,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_indices_are_dense_and_distinct() {
+        let mut seen = [false; PrefetchSource::COUNT];
+        for s in PrefetchSource::ALL {
+            assert!(!seen[s.index()], "duplicate index for {:?}", s);
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn all_is_in_index_order() {
+        for (i, s) in PrefetchSource::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn origin_copies_request_fields() {
+        let req = PrefetchRequest {
+            line: LineAddr(77),
+            trigger_pc: 0x4000,
+            source: PrefetchSource::Sdp,
+        };
+        let o = req.origin();
+        assert_eq!(o.line, req.line);
+        assert_eq!(o.trigger_pc, req.trigger_pc);
+        assert_eq!(o.source, req.source);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = PrefetchSource::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

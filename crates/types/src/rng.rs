@@ -1,0 +1,202 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! The simulator core must be a pure function of `(config, workload, seed)`,
+//! so it does not use the `rand` crate (whose algorithms may change across
+//! versions). Instead workloads draw from this small SplitMix64 generator —
+//! the well-known Steele/Lea/Flood mixer — which is fast, has a single `u64`
+//! of state, and supports *splitting*: deriving independent child streams so
+//! each workload phase gets its own reproducible sequence.
+
+/// SplitMix64 PRNG (Steele, Lea & Flood, "Fast splittable pseudorandom
+/// number generators", OOPSLA 2014).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Derive an independent child generator. The parent advances by one
+    /// step, so repeated splits give distinct children.
+    #[inline]
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64 {
+            state: mix64(self.next_u64()),
+        }
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses the widening-multiply technique (Lemire) — no division, and bias
+    /// is at most 2^-64 per draw, far below anything a cache simulation can
+    /// observe.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to \[0,1\]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(12345);
+        let mut b = SplitMix64::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_children_are_independent_of_parent_continuation() {
+        let mut parent = SplitMix64::new(99);
+        let mut child = parent.split();
+        // Child stream must not equal the parent's continuation.
+        let c: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
+        let p: Vec<u64> = (0..16).map(|_| parent.next_u64()).collect();
+        assert_ne!(c, p);
+    }
+
+    #[test]
+    fn repeated_splits_differ() {
+        let mut parent = SplitMix64::new(7);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(42);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SplitMix64::new(1234);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[rng.below(8) as usize] += 1;
+        }
+        let expect = n / 8;
+        for &b in &buckets {
+            // 5% tolerance — generous for n=80k per-bucket ~10k.
+            assert!((b as i64 - expect as i64).unsigned_abs() < expect as u64 / 20);
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.range(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.1)); // clamping behaviour: p>=1 always true
+        }
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut rng = SplitMix64::new(21);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = SplitMix64::new(3);
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            let v = *rng.pick(&items);
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

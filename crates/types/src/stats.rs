@@ -1,0 +1,340 @@
+//! Simulation statistics.
+//!
+//! A single flat [`SimStats`] struct is threaded through the simulator; every
+//! component increments plain `u64` counters (no locks, no maps — the
+//! hot-path hygiene rule from the workspace design notes). Derived metrics
+//! (IPC, miss rates, the paper's good/bad prefetch census) are computed on
+//! demand by accessor methods so the raw counters stay unambiguous.
+
+use crate::prefetch::PrefetchSource;
+use serde::{Deserialize, Serialize};
+
+/// Per-prefetch-source counters, indexed by [`PrefetchSource::index`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerSource {
+    /// Counter array, one slot per [`PrefetchSource`].
+    pub by_source: [u64; PrefetchSource::COUNT],
+}
+
+impl PerSource {
+    /// Increment the counter for `source`.
+    #[inline]
+    pub fn bump(&mut self, source: PrefetchSource) {
+        self.by_source[source.index()] += 1;
+    }
+
+    /// Counter value for `source`.
+    #[inline]
+    pub fn get(&self, source: PrefetchSource) -> u64 {
+        self.by_source[source.index()]
+    }
+
+    /// Sum over all sources.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.by_source.iter().sum()
+    }
+
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &PerSource) {
+        for (a, b) in self.by_source.iter_mut().zip(other.by_source.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand (load/store) accesses.
+    pub demand_accesses: u64,
+    /// Demand accesses that hit.
+    pub demand_hits: u64,
+    /// Demand accesses that missed.
+    pub demand_misses: u64,
+    /// Lines filled by prefetches (prefetch traffic into this level).
+    pub prefetch_fills: u64,
+    /// Demand hits that landed on a still-unreferenced prefetched line
+    /// (the moment RIB transitions 0 -> 1).
+    pub prefetch_first_use: u64,
+    /// Evictions of any line.
+    pub evictions: u64,
+    /// Evictions of dirty lines (writebacks).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate in \[0,1\]; 0 when no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / self.demand_accesses as f64
+        }
+    }
+
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.demand_accesses += o.demand_accesses;
+        self.demand_hits += o.demand_hits;
+        self.demand_misses += o.demand_misses;
+        self.prefetch_fills += o.prefetch_fills;
+        self.prefetch_first_use += o.prefetch_first_use;
+        self.evictions += o.evictions;
+        self.writebacks += o.writebacks;
+    }
+}
+
+/// All counters for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Retired branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+
+    /// L1 data cache counters.
+    pub l1: CacheStats,
+    /// L1 instruction cache counters (demand = fetch-group lookups).
+    pub l1i: CacheStats,
+    /// L2 unified cache counters.
+    pub l2: CacheStats,
+
+    /// Prefetches proposed by each generator (before duplicate squash and
+    /// before the pollution filter).
+    pub prefetches_proposed: PerSource,
+    /// Duplicates squashed (target already in cache / queue / in flight).
+    pub prefetches_duplicate: PerSource,
+    /// Prefetches rejected by the pollution filter.
+    pub prefetches_filtered: PerSource,
+    /// Prefetches dropped because the prefetch queue was full.
+    pub prefetches_queue_overflow: PerSource,
+    /// Prefetches actually issued to the L1 (or prefetch buffer).
+    pub prefetches_issued: PerSource,
+
+    /// Good prefetches: prefetched lines referenced before eviction
+    /// (RIB = 1 at replacement, or referenced lines drained at end of run).
+    pub prefetch_good: PerSource,
+    /// Bad prefetches: prefetched lines evicted without any reference.
+    pub prefetch_bad: PerSource,
+
+    /// Cycles on which at least one demand access had to wait because all L1
+    /// ports were taken.
+    pub l1_port_conflict_cycles: u64,
+    /// Demand accesses delayed by port contention (each retry counts once).
+    pub demand_port_retries: u64,
+    /// Prefetch-queue pops delayed by port contention.
+    pub prefetch_port_retries: u64,
+
+    /// Bytes moved over the L2<->memory bus.
+    pub bus_bytes: u64,
+    /// Core cycles the bus spent busy.
+    pub bus_busy_cycles: u64,
+
+    /// Prefetch-buffer hits (only with the §5.5 dedicated buffer).
+    pub buffer_hits: u64,
+    /// Prefetch-buffer evictions of never-referenced lines.
+    pub buffer_bad_evictions: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total good prefetches over all sources.
+    pub fn good_total(&self) -> u64 {
+        self.prefetch_good.total()
+    }
+
+    /// Total bad prefetches over all sources.
+    pub fn bad_total(&self) -> u64 {
+        self.prefetch_bad.total()
+    }
+
+    /// The paper's bad/good prefetch ratio (Figures 5, 8, 13, 15).
+    /// Returns 0 when there are no good prefetches and no bad ones; returns
+    /// `f64::INFINITY` when good = 0 but bad > 0.
+    pub fn bad_good_ratio(&self) -> f64 {
+        let good = self.good_total();
+        let bad = self.bad_total();
+        if bad == 0 {
+            0.0
+        } else if good == 0 {
+            f64::INFINITY
+        } else {
+            bad as f64 / good as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that were good, in \[0,1\].
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let done = self.good_total() + self.bad_total();
+        if done == 0 {
+            0.0
+        } else {
+            self.good_total() as f64 / done as f64
+        }
+    }
+
+    /// L1 traffic from prefetches relative to demand traffic (Figure 2's
+    /// "prefetch access to normal access ratio").
+    pub fn prefetch_traffic_ratio(&self) -> f64 {
+        if self.l1.demand_accesses == 0 {
+            0.0
+        } else {
+            self.prefetches_issued.total() as f64 / self.l1.demand_accesses as f64
+        }
+    }
+
+    /// Total prefetches that survived duplicate squash and reached the filter.
+    pub fn prefetches_considered(&self) -> u64 {
+        self.prefetches_issued.total()
+            + self.prefetches_filtered.total()
+            + self.prefetches_queue_overflow.total()
+    }
+
+    /// Element-wise accumulate (used when aggregating sweep shards).
+    pub fn merge(&mut self, o: &SimStats) {
+        self.instructions += o.instructions;
+        self.cycles += o.cycles;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.branches += o.branches;
+        self.branch_mispredicts += o.branch_mispredicts;
+        self.l1.merge(&o.l1);
+        self.l1i.merge(&o.l1i);
+        self.l2.merge(&o.l2);
+        self.prefetches_proposed.merge(&o.prefetches_proposed);
+        self.prefetches_duplicate.merge(&o.prefetches_duplicate);
+        self.prefetches_filtered.merge(&o.prefetches_filtered);
+        self.prefetches_queue_overflow
+            .merge(&o.prefetches_queue_overflow);
+        self.prefetches_issued.merge(&o.prefetches_issued);
+        self.prefetch_good.merge(&o.prefetch_good);
+        self.prefetch_bad.merge(&o.prefetch_bad);
+        self.l1_port_conflict_cycles += o.l1_port_conflict_cycles;
+        self.demand_port_retries += o.demand_port_retries;
+        self.prefetch_port_retries += o.prefetch_port_retries;
+        self.bus_bytes += o.bus_bytes;
+        self.bus_busy_cycles += o.bus_busy_cycles;
+        self.buffer_hits += o.buffer_hits;
+        self.buffer_bad_evictions += o.buffer_bad_evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_source_bump_and_total() {
+        let mut p = PerSource::default();
+        p.bump(PrefetchSource::Nsp);
+        p.bump(PrefetchSource::Nsp);
+        p.bump(PrefetchSource::Software);
+        assert_eq!(p.get(PrefetchSource::Nsp), 2);
+        assert_eq!(p.get(PrefetchSource::Sdp), 0);
+        assert_eq!(p.get(PrefetchSource::Software), 1);
+        assert_eq!(p.total(), 3);
+    }
+
+    #[test]
+    fn per_source_merge() {
+        let mut a = PerSource::default();
+        let mut b = PerSource::default();
+        a.bump(PrefetchSource::Nsp);
+        b.bump(PrefetchSource::Nsp);
+        b.bump(PrefetchSource::Sdp);
+        a.merge(&b);
+        assert_eq!(a.get(PrefetchSource::Nsp), 2);
+        assert_eq!(a.get(PrefetchSource::Sdp), 1);
+    }
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        let c = CacheStats::default();
+        assert_eq!(c.miss_rate(), 0.0);
+        let c = CacheStats {
+            demand_accesses: 100,
+            demand_misses: 25,
+            ..Default::default()
+        };
+        assert!((c.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc() {
+        let s = SimStats {
+            instructions: 300,
+            cycles: 100,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 3.0).abs() < 1e-12);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn bad_good_ratio_edge_cases() {
+        let mut s = SimStats::default();
+        assert_eq!(s.bad_good_ratio(), 0.0);
+        s.prefetch_bad.bump(PrefetchSource::Nsp);
+        assert!(s.bad_good_ratio().is_infinite());
+        s.prefetch_good.bump(PrefetchSource::Nsp);
+        s.prefetch_good.bump(PrefetchSource::Nsp);
+        assert!((s.bad_good_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy() {
+        let mut s = SimStats::default();
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+        for _ in 0..3 {
+            s.prefetch_good.bump(PrefetchSource::Sdp);
+        }
+        s.prefetch_bad.bump(PrefetchSource::Sdp);
+        assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimStats {
+            instructions: 10,
+            cycles: 5,
+            ..Default::default()
+        };
+        let b = SimStats {
+            instructions: 20,
+            cycles: 15,
+            bus_bytes: 64,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 30);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.bus_bytes, 64);
+    }
+
+    #[test]
+    fn traffic_ratio() {
+        let mut s = SimStats::default();
+        s.l1.demand_accesses = 100;
+        for _ in 0..41 {
+            s.prefetches_issued.bump(PrefetchSource::Nsp);
+        }
+        assert!((s.prefetch_traffic_ratio() - 0.41).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the shared vocabulary types.
+
+use ppf_types::{LineAddr, SimStats, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn line_addr_round_trip(addr in any::<u64>(), shift in 4u32..12) {
+        let line_bytes = 1u32 << shift;
+        let line = LineAddr::of(addr, line_bytes);
+        let base = line.base_addr(line_bytes);
+        // The base is line-aligned and contains the address.
+        prop_assert_eq!(base % line_bytes as u64, 0);
+        prop_assert!(base <= addr);
+        prop_assert!(addr - base < line_bytes as u64);
+        // Round trip: the base maps to the same line.
+        prop_assert_eq!(LineAddr::of(base, line_bytes), line);
+    }
+
+    #[test]
+    fn line_offset_is_additive(line in any::<u64>(), a in -1000i64..1000, b in -1000i64..1000) {
+        let l = LineAddr(line);
+        prop_assert_eq!(l.offset(a).offset(b), l.offset(a.wrapping_add(b)));
+    }
+
+    #[test]
+    fn rng_below_always_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_range_inclusive(seed in any::<u64>(), lo in 0u64..1000, width in 0u64..1000) {
+        let hi = lo + width;
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            let v = rng.range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn rng_split_children_independent(seed in any::<u64>()) {
+        let mut parent = SplitMix64::new(seed);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        // Children differ from each other in their first few outputs.
+        let a: Vec<u64> = (0..4).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| c2.next_u64()).collect();
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stats_merge_is_commutative_on_counters(
+        a_insts in 0u64..1_000_000, a_cycles in 0u64..1_000_000,
+        b_insts in 0u64..1_000_000, b_cycles in 0u64..1_000_000,
+    ) {
+        let mk = |i, c| SimStats { instructions: i, cycles: c, ..Default::default() };
+        let mut ab = mk(a_insts, a_cycles);
+        ab.merge(&mk(b_insts, b_cycles));
+        let mut ba = mk(b_insts, b_cycles);
+        ba.merge(&mk(a_insts, a_cycles));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn ipc_is_finite_and_nonnegative(insts in 0u64..u32::MAX as u64, cycles in 0u64..u32::MAX as u64) {
+        let s = SimStats { instructions: insts, cycles, ..Default::default() };
+        let ipc = s.ipc();
+        prop_assert!(ipc.is_finite());
+        prop_assert!(ipc >= 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic synthetic workload models for the paper's ten benchmarks.
+//!
+//! The paper evaluates Alpha binaries of bh, em3d, perimeter (Olden), ijpeg,
+//! fpppp, gcc, wave5 (SPEC95) and gap, gzip, mcf (SPEC2000). Those binaries
+//! and SimpleScalar are not reproducible here, so each benchmark is modelled
+//! as a *mixture of address patterns* with the program's characteristic
+//! shape — pointer chasing for the Olden programs and mcf, strided floating
+//! point for wave5/fpppp, blocked 2D for ijpeg, streaming for gzip, a
+//! low-predictability mix for gcc — calibrated so the prefetch-off L1/L2
+//! miss rates land near Table 2 of the paper (verified by integration tests
+//! in `ppf-sim`).
+//!
+//! What matters for reproducing the paper's figures is not instruction
+//! semantics but the *predictability and reuse structure* of the miss
+//! stream the prefetchers and the pollution filter see; that is exactly
+//! what these models control:
+//!
+//! * pattern kind → which prefetches NSP/SDP generate and whether they are
+//!   good (strided/streaming) or bad (pointer chasing, irregular);
+//! * footprint sizes and mixture weights → L1/L2 miss rates (Table 2);
+//! * serial dependencies on pointer loads → load-use latency sensitivity;
+//! * branch site predictability → front-end behaviour per benchmark.
+//!
+//! Everything is a pure function of `(Workload, seed)` via
+//! [`ppf_types::SplitMix64`].
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod patterns;
+pub mod suite;
+pub mod trace;
+
+pub use model::{MixStream, WorkloadSpec};
+pub use patterns::{PatternKind, PatternSpec, SwPrefetchSpec};
+pub use suite::Workload;

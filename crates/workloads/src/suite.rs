@@ -1,0 +1,708 @@
+//! The ten benchmark models (Table 2 of the paper).
+//!
+//! Each model is a pattern mixture whose *shape* matches the program family
+//! and whose footprints/weights are calibrated toward Table 2's prefetch-off
+//! miss rates (verified by `ppf-sim`'s calibration tests):
+//!
+//! | benchmark | suite    | character                         | L1 miss | L2 miss |
+//! |-----------|----------|-----------------------------------|---------|---------|
+//! | bh        | Olden    | octree walk + body array sweep    | 4.64%   | 0.26%   |
+//! | em3d      | Olden    | irregular graph over bipartite lists | 21.61% | 0.01% |
+//! | perimeter | Olden    | quadtree perimeter walk           | 4.78%   | 27.09%  |
+//! | ijpeg     | SPEC95   | blocked 2D image compression      | 5.65%   | 2.35%   |
+//! | fpppp     | SPEC95   | dense FP, huge basic blocks       | 8.07%   | 0.03%   |
+//! | gcc       | SPEC95   | irregular, branchy symbol mangling | 5.51%  | 2.21%   |
+//! | wave5     | SPEC95   | strided FP over large grids       | 13.87%  | 2.09%   |
+//! | gap       | SPEC2000 | interpreter over big vectors      | 4.09%   | 22.47%  |
+//! | gzip      | SPEC2000 | streaming with dictionary window  | 5.97%   | 31.76%  |
+//! | mcf       | SPEC2000 | network-simplex pointer chasing   | 6.48%   | 24.26%  |
+//!
+//! ## Calibration arithmetic
+//!
+//! With a "hot" L1-resident pattern (stack/locals, miss ≈ 0), an L2-resident
+//! "mid" pattern (per-access L1 miss rate `m`), and a "cold" pattern over a
+//! region far larger than the L2 (L1 and L2 miss ≈ 1):
+//!
+//! * L1 miss rate ≈ `w_mid·m + w_cold`
+//! * L2 *local* miss rate ≈ `w_cold / (w_mid·m + w_cold)`
+//!
+//! so `w_cold = L1t·L2t` and `w_mid = (L1t − w_cold)/m`. The mid pattern's
+//! kind carries the benchmark's prefetchability; the cold pattern carries
+//! its L2-missing character.
+
+use crate::model::{MixStream, WorkloadSpec};
+use crate::patterns::{PatternKind, PatternSpec, SwPrefetchSpec};
+
+/// Disjoint region bases for the pattern mixtures.
+const HOT_BASE: u64 = 0x1000_0000;
+const MID_BASE: u64 = 0x2000_0000;
+const AUX_BASE: u64 = 0x3000_0000;
+const COLD_BASE: u64 = 0x4000_0000;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// The benchmark programs of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Olden Barnes-Hut (2048 bodies).
+    Bh,
+    /// Olden em3d (100 nodes, arity 10, 10K iters).
+    Em3d,
+    /// Olden perimeter (12 levels).
+    Perimeter,
+    /// SPEC95 ijpeg (penguin.ppm).
+    Ijpeg,
+    /// SPEC95 fpppp (natoms.in).
+    Fpppp,
+    /// SPEC95 gcc (cp-decl.i).
+    Gcc,
+    /// SPEC95 wave5 (wave5.in).
+    Wave5,
+    /// SPEC2000 gap (ref.in).
+    Gap,
+    /// SPEC2000 gzip (input.graphic).
+    Gzip,
+    /// SPEC2000 mcf (inp.in).
+    Mcf,
+}
+
+impl Workload {
+    /// All ten benchmarks, in the paper's Table 2 order.
+    pub const ALL: [Workload; 10] = [
+        Workload::Bh,
+        Workload::Em3d,
+        Workload::Perimeter,
+        Workload::Ijpeg,
+        Workload::Fpppp,
+        Workload::Gcc,
+        Workload::Wave5,
+        Workload::Gap,
+        Workload::Gzip,
+        Workload::Mcf,
+    ];
+
+    /// Benchmark name as in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Bh => "bh",
+            Workload::Em3d => "em3d",
+            Workload::Perimeter => "perimeter",
+            Workload::Ijpeg => "ijpeg",
+            Workload::Fpppp => "fpppp",
+            Workload::Gcc => "gcc",
+            Workload::Wave5 => "wave5",
+            Workload::Gap => "gap",
+            Workload::Gzip => "gzip",
+            Workload::Mcf => "mcf",
+        }
+    }
+
+    /// Parse a Table 2 benchmark name.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// The instruction stream for this benchmark with the given seed.
+    pub fn stream(self, seed: u64) -> MixStream {
+        MixStream::new(self.spec(), seed)
+    }
+
+    /// The benchmark's mixture specification.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            Workload::Bh => bh(),
+            Workload::Em3d => em3d(),
+            Workload::Perimeter => perimeter(),
+            Workload::Ijpeg => ijpeg(),
+            Workload::Fpppp => fpppp(),
+            Workload::Gcc => gcc(),
+            Workload::Wave5 => wave5(),
+            Workload::Gap => gap(),
+            Workload::Gzip => gzip(),
+            Workload::Mcf => mcf(),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The L1-resident "hot" pattern (stack and locals) taking the weight the
+/// characteristic patterns leave over.
+fn hot(weight: f64) -> PatternSpec {
+    PatternSpec {
+        store_frac: 0.35,
+        pc_base: 0x1_0000,
+        n_pcs: 24,
+        ..PatternSpec::new(
+            "stack",
+            PatternKind::Strided { stride: 8 },
+            HOT_BASE,
+            4 * KB,
+            weight,
+        )
+    }
+}
+
+fn bh() -> WorkloadSpec {
+    // Octree walk (pointer chase) + body-array sweep; both fit the L2.
+    let tree = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 16,
+        serial_dep: true,
+        store_frac: 0.05,
+        ..PatternSpec::new(
+            "octree",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 2,
+                run: 2,
+            },
+            MID_BASE,
+            128 * KB,
+            0.0322,
+        )
+    };
+    let bodies = PatternSpec {
+        pc_base: 0x1_8600,
+        n_pcs: 12,
+        store_frac: 0.25,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 128,
+            every: 6,
+        }),
+        ..PatternSpec::new(
+            "bodies",
+            PatternKind::Strided { stride: 16 },
+            AUX_BASE,
+            64 * KB,
+            0.0277,
+        )
+    };
+    let cold = PatternSpec {
+        pc_base: 0x1_c900,
+        serial_dep: true,
+        ..PatternSpec::new(
+            "cold-cells",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 1,
+                run: 2,
+            },
+            COLD_BASE,
+            64 * MB,
+            0.0001,
+        )
+    };
+    WorkloadSpec {
+        name: "bh",
+        patterns: vec![hot(1.0 - 0.0322 - 0.0277 - 0.0001), tree, bodies, cold],
+        frac_mem: 0.38,
+        frac_branch: 0.10,
+        frac_fp: 0.45,
+        branch_predictability: 0.85,
+        dep_p: 0.50,
+        code_kb: 16,
+        cold_code_frac: 0.05,
+        expect_l1_miss: 0.0464,
+        expect_l2_miss: 0.0026,
+    }
+}
+
+fn em3d() -> WorkloadSpec {
+    // Irregular graph traversal; whole graph fits the L2 easily, so the L1
+    // thrashes (21.6%) while the L2 almost never misses.
+    let graph = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 24,
+        serial_dep: true,
+        store_frac: 0.15,
+        ..PatternSpec::new(
+            "graph",
+            PatternKind::PointerChase {
+                node_bytes: 32,
+                fields: 1,
+                run: 8,
+            },
+            MID_BASE,
+            128 * KB,
+            0.144,
+        )
+    };
+    WorkloadSpec {
+        name: "em3d",
+        patterns: vec![hot(1.0 - 0.144), graph],
+        frac_mem: 0.42,
+        frac_branch: 0.12,
+        frac_fp: 0.30,
+        branch_predictability: 0.90,
+        dep_p: 0.60,
+        code_kb: 16,
+        cold_code_frac: 0.04,
+        expect_l1_miss: 0.2161,
+        expect_l2_miss: 0.0001,
+    }
+}
+
+fn perimeter() -> WorkloadSpec {
+    // Quadtree walk with a working set well past the L2.
+    let quadtree = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 16,
+        serial_dep: true,
+        store_frac: 0.05,
+        ..PatternSpec::new(
+            "quadtree",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 2,
+                run: 2,
+            },
+            MID_BASE,
+            256 * KB,
+            0.0409,
+        )
+    };
+    let cold = PatternSpec {
+        pc_base: 0x1_c900,
+        serial_dep: true,
+        ..PatternSpec::new(
+            "deep-tree",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 1,
+                run: 2,
+            },
+            COLD_BASE,
+            64 * MB,
+            0.0132,
+        )
+    };
+    WorkloadSpec {
+        name: "perimeter",
+        patterns: vec![hot(1.0 - 0.0409 - 0.0132), quadtree, cold],
+        frac_mem: 0.40,
+        frac_branch: 0.16,
+        frac_fp: 0.02,
+        branch_predictability: 0.80,
+        dep_p: 0.60,
+        code_kb: 16,
+        cold_code_frac: 0.05,
+        expect_l1_miss: 0.0478,
+        expect_l2_miss: 0.2709,
+    }
+}
+
+fn ijpeg() -> WorkloadSpec {
+    // Blocked 2D traversal of image planes.
+    let pixels = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 16,
+        store_frac: 0.30,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 128,
+            every: 6,
+        }),
+        ..PatternSpec::new(
+            "pixels",
+            PatternKind::Blocked2d {
+                row_bytes: 4096,
+                block_w: 256,
+                block_h: 4,
+                elem: 8,
+            },
+            MID_BASE,
+            256 * KB,
+            0.151,
+        )
+    };
+    let cold = PatternSpec {
+        pc_base: 0x1_c900,
+        ..PatternSpec::new(
+            "fresh-image",
+            PatternKind::Stream {
+                advance: 32,
+                window: 8 * KB,
+                reread_p: 0.0,
+            },
+            COLD_BASE,
+            64 * MB,
+            0.0014,
+        )
+    };
+    WorkloadSpec {
+        name: "ijpeg",
+        patterns: vec![hot(1.0 - 0.151 - 0.0014), pixels, cold],
+        frac_mem: 0.40,
+        frac_branch: 0.10,
+        frac_fp: 0.10,
+        branch_predictability: 0.92,
+        dep_p: 0.35,
+        code_kb: 32,
+        cold_code_frac: 0.06,
+        expect_l1_miss: 0.0565,
+        expect_l2_miss: 0.0235,
+    }
+}
+
+fn fpppp() -> WorkloadSpec {
+    // Dense FP over a few mid-size arrays; essentially no L2 misses.
+    let arrays = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 32,
+        store_frac: 0.20,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 64,
+            every: 6,
+        }),
+        ..PatternSpec::new(
+            "fp-arrays",
+            PatternKind::MultiStream {
+                stride: 8,
+                streams: 4,
+            },
+            MID_BASE,
+            64 * KB,
+            0.212,
+        )
+    };
+    WorkloadSpec {
+        name: "fpppp",
+        patterns: vec![hot(1.0 - 0.212), arrays],
+        frac_mem: 0.40,
+        frac_branch: 0.04,
+        frac_fp: 0.65,
+        branch_predictability: 0.95,
+        dep_p: 0.50,
+        code_kb: 64,
+        cold_code_frac: 0.15,
+        expect_l1_miss: 0.0807,
+        expect_l2_miss: 0.0003,
+    }
+}
+
+fn gcc() -> WorkloadSpec {
+    // Irregular everything: uniform pointer soup, many PCs, poor branches.
+    let symtab = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 128,
+        store_frac: 0.25,
+        ..PatternSpec::new("symtab", PatternKind::Uniform, MID_BASE, 96 * KB, 0.0375)
+    };
+    let cold = PatternSpec {
+        pc_base: 0x1_c900,
+        n_pcs: 64,
+        ..PatternSpec::new("cold-rtl", PatternKind::Uniform, COLD_BASE, 64 * MB, 0.0012)
+    };
+    WorkloadSpec {
+        name: "gcc",
+        patterns: vec![hot(1.0 - 0.0375 - 0.0012), symtab, cold],
+        frac_mem: 0.38,
+        frac_branch: 0.22,
+        frac_fp: 0.01,
+        branch_predictability: 0.60,
+        dep_p: 0.60,
+        code_kb: 64,
+        cold_code_frac: 0.2,
+        expect_l1_miss: 0.0551,
+        expect_l2_miss: 0.0221,
+    }
+}
+
+fn wave5() -> WorkloadSpec {
+    // Large strided FP sweeps.
+    let grid = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 24,
+        store_frac: 0.25,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 128,
+            every: 6,
+        }),
+        ..PatternSpec::new(
+            "grid",
+            PatternKind::MultiStream {
+                stride: 16,
+                streams: 6,
+            },
+            MID_BASE,
+            256 * KB,
+            0.178,
+        )
+    };
+    let cold = PatternSpec {
+        pc_base: 0x1_c900,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 32,
+            every: 2,
+        }),
+        ..PatternSpec::new(
+            "big-grid",
+            PatternKind::Strided { stride: 32 },
+            COLD_BASE,
+            64 * MB,
+            0.0031,
+        )
+    };
+    WorkloadSpec {
+        name: "wave5",
+        patterns: vec![hot(1.0 - 0.178 - 0.0031), grid, cold],
+        frac_mem: 0.40,
+        frac_branch: 0.06,
+        frac_fp: 0.60,
+        branch_predictability: 0.93,
+        dep_p: 0.40,
+        code_kb: 32,
+        cold_code_frac: 0.05,
+        expect_l1_miss: 0.1387,
+        expect_l2_miss: 0.0209,
+    }
+}
+
+fn gap() -> WorkloadSpec {
+    // Interpreter: strided vector ops over an L2-resident heap, plus cold
+    // pointer chasing through a big arena.
+    let vectors = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 32,
+        store_frac: 0.25,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 64,
+            every: 6,
+        }),
+        ..PatternSpec::new(
+            "vectors",
+            PatternKind::MultiStream {
+                stride: 8,
+                streams: 4,
+            },
+            MID_BASE,
+            128 * KB,
+            0.0745,
+        )
+    };
+    let cold = PatternSpec {
+        pc_base: 0x1_c900,
+        serial_dep: true,
+        ..PatternSpec::new(
+            "arena",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 1,
+                run: 4,
+            },
+            COLD_BASE,
+            64 * MB,
+            0.0093,
+        )
+    };
+    WorkloadSpec {
+        name: "gap",
+        patterns: vec![hot(1.0 - 0.0745 - 0.0093), vectors, cold],
+        frac_mem: 0.38,
+        frac_branch: 0.16,
+        frac_fp: 0.02,
+        branch_predictability: 0.75,
+        dep_p: 0.55,
+        code_kb: 64,
+        cold_code_frac: 0.1,
+        expect_l1_miss: 0.0409,
+        expect_l2_miss: 0.2247,
+    }
+}
+
+fn gzip() -> WorkloadSpec {
+    // Forward compression stream (cold) + dictionary window (L2-resident).
+    let window = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 20,
+        store_frac: 0.15,
+        ..PatternSpec::new(
+            "window",
+            PatternKind::BurstUniform { stride: 8, run: 12 },
+            AUX_BASE,
+            64 * KB,
+            0.0458,
+        )
+    };
+    let stream = PatternSpec {
+        pc_base: 0x1_c900,
+        store_frac: 0.10,
+        sw_prefetch: Some(SwPrefetchSpec {
+            lead_bytes: 128,
+            every: 4,
+        }),
+        ..PatternSpec::new(
+            "input",
+            PatternKind::Stream {
+                advance: 32,
+                window: 4 * KB,
+                reread_p: 0.0,
+            },
+            COLD_BASE,
+            64 * MB,
+            0.0193,
+        )
+    };
+    WorkloadSpec {
+        name: "gzip",
+        patterns: vec![hot(1.0 - 0.0458 - 0.0193), window, stream],
+        frac_mem: 0.40,
+        frac_branch: 0.18,
+        frac_fp: 0.0,
+        branch_predictability: 0.78,
+        dep_p: 0.50,
+        code_kb: 16,
+        cold_code_frac: 0.05,
+        expect_l1_miss: 0.0597,
+        expect_l2_miss: 0.3176,
+    }
+}
+
+fn mcf() -> WorkloadSpec {
+    // Network simplex: pointer chasing over an L2-resident node set and a
+    // far larger cold arc arena.
+    let nodes = PatternSpec {
+        pc_base: 0x1_4300,
+        n_pcs: 20,
+        serial_dep: true,
+        store_frac: 0.15,
+        ..PatternSpec::new(
+            "nodes",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 2,
+                run: 4,
+            },
+            MID_BASE,
+            256 * KB,
+            0.0591,
+        )
+    };
+    let arcs = PatternSpec {
+        pc_base: 0x1_c900,
+        serial_dep: true,
+        ..PatternSpec::new(
+            "arcs",
+            PatternKind::PointerChase {
+                node_bytes: 64,
+                fields: 1,
+                run: 4,
+            },
+            COLD_BASE,
+            64 * MB,
+            0.0161,
+        )
+    };
+    WorkloadSpec {
+        name: "mcf",
+        patterns: vec![hot(1.0 - 0.0591 - 0.0161), nodes, arcs],
+        frac_mem: 0.40,
+        frac_branch: 0.17,
+        frac_fp: 0.0,
+        branch_predictability: 0.70,
+        dep_p: 0.60,
+        code_kb: 16,
+        cold_code_frac: 0.04,
+        expect_l1_miss: 0.0648,
+        expect_l2_miss: 0.2426,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_cpu::{InstStream, Op};
+
+    #[test]
+    fn all_specs_validate() {
+        for w in Workload::ALL {
+            w.spec().validate().unwrap_or_else(|e| panic!("{}: {e}", w));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn table2_targets_recorded() {
+        assert!((Workload::Em3d.spec().expect_l1_miss - 0.2161).abs() < 1e-9);
+        assert!((Workload::Gzip.spec().expect_l2_miss - 0.3176).abs() < 1e-9);
+        assert!((Workload::Mcf.spec().expect_l2_miss - 0.2426).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        for w in [Workload::Bh, Workload::Gcc, Workload::Mcf] {
+            let mut a = w.stream(11);
+            let mut b = w.stream(11);
+            for _ in 0..500 {
+                assert_eq!(a.next_inst(), b.next_inst());
+            }
+        }
+    }
+
+    #[test]
+    fn strided_benchmarks_emit_software_prefetches() {
+        for w in [Workload::Wave5, Workload::Fpppp, Workload::Ijpeg] {
+            let mut s = w.stream(3);
+            let n = (0..50_000)
+                .filter(|_| matches!(s.next_inst().op, Op::SoftPrefetch { .. }))
+                .count();
+            assert!(n > 100, "{w}: {n} software prefetches");
+        }
+    }
+
+    #[test]
+    fn pointer_benchmarks_emit_no_software_prefetches() {
+        for w in [Workload::Em3d, Workload::Perimeter, Workload::Mcf] {
+            let mut s = w.stream(3);
+            let n = (0..20_000)
+                .filter(|_| matches!(s.next_inst().op, Op::SoftPrefetch { .. }))
+                .count();
+            assert_eq!(n, 0, "{w}");
+        }
+    }
+
+    #[test]
+    fn mem_fraction_near_spec() {
+        for w in Workload::ALL {
+            let spec = w.spec();
+            let mut s = w.stream(5);
+            let n = 40_000;
+            let mem = (0..n)
+                .filter(|_| matches!(s.next_inst().op, Op::Load { .. } | Op::Store { .. }))
+                .count();
+            let frac = mem as f64 / n as f64;
+            // Software prefetches dilute the stream slightly; allow 5 pts.
+            assert!(
+                (frac - spec.frac_mem).abs() < 0.05,
+                "{w}: mem fraction {frac} vs {}",
+                spec.frac_mem
+            );
+        }
+    }
+
+    #[test]
+    fn gcc_branches_are_least_predictable() {
+        // Sanity: the spec encodes gcc as the branchiest, least predictable.
+        let gcc = Workload::Gcc.spec();
+        for w in Workload::ALL {
+            if w == Workload::Gcc {
+                continue;
+            }
+            let s = w.spec();
+            assert!(gcc.frac_branch >= s.frac_branch, "{w}");
+            assert!(gcc.branch_predictability <= s.branch_predictability, "{w}");
+        }
+    }
+}

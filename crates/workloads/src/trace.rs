@@ -1,0 +1,213 @@
+//! Compact binary traces of instruction streams.
+//!
+//! For debugging and for feeding external tools, a prefix of any workload
+//! stream can be serialized to a compact binary record format (16 bytes per
+//! instruction) using the `bytes` crate, and read back losslessly. The
+//! simulator itself always regenerates streams from `(spec, seed)` — traces
+//! are a diagnostic artifact, not the source of truth.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppf_cpu::{Inst, InstStream, Op};
+
+/// Record type tags.
+const T_INT: u8 = 0;
+const T_FP: u8 = 1;
+const T_LOAD: u8 = 2;
+const T_STORE: u8 = 3;
+const T_PREFETCH: u8 = 4;
+const T_BRANCH: u8 = 5;
+
+/// Serialize the next `n` instructions of `stream` into a trace buffer.
+///
+/// Record layout (little-endian): `tag u8, dep u8, pc_lo u32 (pc/4 truncated),
+/// payload u64` — where payload is the address for memory ops, or
+/// `(target << 1) | taken` for branches, 0 otherwise.
+pub fn record(stream: &mut dyn InstStream, n: usize) -> Bytes {
+    let mut buf = BytesMut::with_capacity(n * 14);
+    for _ in 0..n {
+        let inst = stream.next_inst();
+        let (tag, payload) = match inst.op {
+            Op::IntAlu => (T_INT, 0u64),
+            Op::FpAlu => (T_FP, 0),
+            Op::Load { addr } => (T_LOAD, addr),
+            Op::Store { addr } => (T_STORE, addr),
+            Op::SoftPrefetch { addr } => (T_PREFETCH, addr),
+            Op::Branch { taken, target } => (T_BRANCH, (target << 1) | taken as u64),
+        };
+        buf.put_u8(tag);
+        buf.put_u8(inst.dep);
+        buf.put_u32_le((inst.pc / 4) as u32);
+        buf.put_u64_le(payload);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a trace produced by [`record`].
+pub fn replay(mut trace: Bytes) -> Vec<Inst> {
+    let mut out = Vec::with_capacity(trace.len() / 14);
+    while trace.remaining() >= 14 {
+        let tag = trace.get_u8();
+        let dep = trace.get_u8();
+        let pc = trace.get_u32_le() as u64 * 4;
+        let payload = trace.get_u64_le();
+        let op = match tag {
+            T_INT => Op::IntAlu,
+            T_FP => Op::FpAlu,
+            T_LOAD => Op::Load { addr: payload },
+            T_STORE => Op::Store { addr: payload },
+            T_PREFETCH => Op::SoftPrefetch { addr: payload },
+            T_BRANCH => Op::Branch {
+                taken: payload & 1 == 1,
+                target: payload >> 1,
+            },
+            other => panic!("corrupt trace: unknown tag {other}"),
+        };
+        out.push(Inst { pc, op, dep });
+    }
+    out
+}
+
+/// Write a binary trace to a file.
+pub fn save(trace: &Bytes, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, trace)
+}
+
+/// Read a binary trace from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<Bytes> {
+    Ok(Bytes::from(std::fs::read(path)?))
+}
+
+/// A replayable in-memory trace usable as an [`InstStream`] (loops at the
+/// end so the simulator never starves).
+pub struct TraceStream {
+    insts: Vec<Inst>,
+    pos: usize,
+}
+
+impl TraceStream {
+    /// Wrap a decoded trace. Panics on an empty trace.
+    pub fn new(insts: Vec<Inst>) -> Self {
+        assert!(!insts.is_empty(), "empty trace");
+        TraceStream { insts, pos: 0 }
+    }
+
+    /// Decode and wrap a binary trace.
+    pub fn from_bytes(trace: Bytes) -> Self {
+        TraceStream::new(replay(trace))
+    }
+
+    /// Trace length in instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Never empty (checked at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl InstStream for TraceStream {
+    fn next_inst(&mut self) -> Inst {
+        let inst = self.insts[self.pos];
+        self.pos = (self.pos + 1) % self.insts.len();
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Workload;
+
+    #[test]
+    fn round_trip_preserves_instructions() {
+        let mut s = Workload::Mcf.stream(9);
+        let mut reference = Workload::Mcf.stream(9);
+        let trace = record(&mut s, 2000);
+        let decoded = replay(trace);
+        assert_eq!(decoded.len(), 2000);
+        for inst in &decoded {
+            assert_eq!(*inst, reference.next_inst());
+        }
+    }
+
+    #[test]
+    fn record_size_is_14_bytes_per_inst() {
+        let mut s = Workload::Bh.stream(1);
+        let trace = record(&mut s, 100);
+        assert_eq!(trace.len(), 1400);
+    }
+
+    #[test]
+    fn trace_stream_loops() {
+        let mut s = Workload::Gzip.stream(2);
+        let trace = record(&mut s, 10);
+        let mut ts = TraceStream::from_bytes(trace);
+        assert_eq!(ts.len(), 10);
+        let first = ts.next_inst();
+        for _ in 0..9 {
+            ts.next_inst();
+        }
+        assert_eq!(ts.next_inst(), first, "wraps to the start");
+    }
+
+    #[test]
+    fn branch_payload_round_trips() {
+        let insts = [
+            Inst::new(
+                0x100,
+                Op::Branch {
+                    taken: true,
+                    target: 0x9000,
+                },
+            ),
+            Inst::new(
+                0x104,
+                Op::Branch {
+                    taken: false,
+                    target: 0xa000,
+                },
+            ),
+        ];
+        let mut i = 0;
+        let mut stream = move || {
+            let inst = insts[i % 2];
+            i += 1;
+            inst
+        };
+        let decoded = replay(record(&mut stream, 2));
+        assert_eq!(
+            decoded[0].op,
+            Op::Branch {
+                taken: true,
+                target: 0x9000
+            }
+        );
+        assert_eq!(
+            decoded[1].op,
+            Op::Branch {
+                taken: false,
+                target: 0xa000
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trace_rejected() {
+        TraceStream::new(Vec::new());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut s = Workload::Wave5.stream(4);
+        let trace = record(&mut s, 500);
+        let path = std::env::temp_dir().join("ppf-trace-test.bin");
+        save(&trace, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+        assert_eq!(replay(loaded).len(), 500);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the workload models: region containment,
+//! determinism, and structural sanity of every benchmark's stream.
+
+use ppf_cpu::{InstStream, Op};
+use ppf_types::SplitMix64;
+use ppf_workloads::{PatternKind, PatternSpec, Workload};
+use proptest::prelude::*;
+
+fn pattern_kind() -> impl Strategy<Value = PatternKind> {
+    prop_oneof![
+        (1i64..256).prop_map(|stride| PatternKind::Strided { stride }),
+        ((1i64..128), (2u8..8))
+            .prop_map(|(stride, streams)| PatternKind::MultiStream { stride, streams }),
+        Just(PatternKind::Uniform),
+        ((1u64..64), (2u16..32))
+            .prop_map(|(stride, run)| PatternKind::BurstUniform { stride, run }),
+        ((32u64..=256), (1u8..4), (0u32..3)).prop_map(|(node_bytes, fields, run_log)| {
+            PatternKind::PointerChase {
+                node_bytes,
+                fields,
+                run: 1 << run_log,
+            }
+        }),
+        ((8u64..64), (1u64..8192), (0.0..0.9f64)).prop_map(|(advance, window, reread_p)| {
+            PatternKind::Stream {
+                advance,
+                window,
+                reread_p,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_pattern_stays_in_its_region(
+        kind in pattern_kind(),
+        base_k in 0u64..1024,
+        footprint_log2 in 12u32..24,
+        seed in any::<u64>(),
+    ) {
+        let base = base_k << 24;
+        let footprint = 1u64 << footprint_log2;
+        let spec = PatternSpec::new("prop", kind, base, footprint, 1.0);
+        let mut st = ppf_workloads::patterns::PatternState::new(spec);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..300 {
+            let a = st.next_access(&mut rng);
+            prop_assert!(
+                a.addr >= base && a.addr < base + footprint,
+                "addr {:#x} outside [{:#x}, {:#x})", a.addr, base, base + footprint
+            );
+            if let Some(p) = a.prefetch {
+                prop_assert!(p >= base && p < base + footprint);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_streams_are_seed_deterministic(seed in any::<u64>(), w_idx in 0usize..10) {
+        let w = Workload::ALL[w_idx];
+        let mut a = w.stream(seed);
+        let mut b = w.stream(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn all_addresses_land_in_declared_regions(seed in any::<u64>(), w_idx in 0usize..10) {
+        let w = Workload::ALL[w_idx];
+        let spec = w.spec();
+        let regions: Vec<(u64, u64)> = spec
+            .patterns
+            .iter()
+            .map(|p| (p.base, p.base + p.footprint))
+            .collect();
+        let mut s = w.stream(seed);
+        for _ in 0..2000 {
+            let inst = s.next_inst();
+            if let Op::Load { addr } | Op::Store { addr } | Op::SoftPrefetch { addr } = inst.op {
+                prop_assert!(
+                    regions.iter().any(|&(lo, hi)| addr >= lo && addr < hi),
+                    "{}: address {:#x} outside every pattern region", w, addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependencies_never_point_past_the_rob(seed in any::<u64>(), w_idx in 0usize..10) {
+        let w = Workload::ALL[w_idx];
+        let mut s = w.stream(seed);
+        for _ in 0..2000 {
+            let inst = s.next_inst();
+            prop_assert!((inst.dep as usize) <= 120, "dep distance {}", inst.dep);
+        }
+    }
+
+    #[test]
+    fn pcs_are_instruction_aligned(seed in any::<u64>(), w_idx in 0usize..10) {
+        let w = Workload::ALL[w_idx];
+        let mut s = w.stream(seed);
+        for _ in 0..1000 {
+            let inst = s.next_inst();
+            prop_assert_eq!(inst.pc % 4, 0, "pc {:#x} unaligned", inst.pc);
+        }
+    }
+}

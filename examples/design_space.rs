@@ -1,0 +1,58 @@
+//! Design-space exploration: history-table size × counter width for the
+//! PA filter — the hardware-budget question §5.3 of the paper asks, plus
+//! the counter-width ablation the paper leaves open.
+//!
+//! ```text
+//! cargo run --release --example design_space [workload]
+//! ```
+
+use ppf::sim::report::TextTable;
+use ppf::sim::{run_grid, RunSpec};
+use ppf::types::{FilterKind, SystemConfig};
+use ppf::workloads::Workload;
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|n| Workload::from_name(&n))
+        .unwrap_or(Workload::Mcf);
+    let sizes = [1024usize, 4096, 16384];
+    let widths = [1u8, 2, 3];
+
+    let mut grid = Vec::new();
+    for &entries in &sizes {
+        for &bits in &widths {
+            let mut cfg = SystemConfig::paper_default()
+                .with_filter(FilterKind::Pa)
+                .with_table_entries(entries);
+            cfg.filter.counter_bits = bits;
+            grid.push(
+                RunSpec::new(format!("{entries}x{bits}b"), cfg, workload).instructions(400_000),
+            );
+        }
+    }
+    let reports = run_grid(grid);
+
+    println!("PA filter design space on {workload} (IPC / bad kept / good kept):");
+    let mut t = TextTable::new(vec!["entries \\ width", "1-bit", "2-bit", "3-bit"]);
+    let mut idx = 0;
+    for &entries in &sizes {
+        let mut row = vec![format!(
+            "{entries} ({}B)",
+            entries * 2 / 8 // size at the paper's 2-bit width, for scale
+        )];
+        for _ in &widths {
+            let r = &reports[idx];
+            idx += 1;
+            row.push(format!(
+                "{:.3} ipc, {} bad, {} good",
+                r.ipc(),
+                r.stats.bad_total(),
+                r.stats.good_total()
+            ));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("(paper default: 4096 entries x 2 bits = 1KB)");
+}

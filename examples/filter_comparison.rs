@@ -1,0 +1,72 @@
+//! Filter comparison across the whole benchmark suite — a compact version
+//! of the paper's Figures 4–6 that runs in a few seconds.
+//!
+//! ```text
+//! cargo run --release --example filter_comparison [instructions]
+//! ```
+
+use ppf::sim::report::{f3, geomean, pct, TextTable};
+use ppf::sim::{run_grid, RunSpec};
+use ppf::types::{FilterKind, SystemConfig};
+use ppf::workloads::Workload;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+
+    let mut grid = Vec::new();
+    for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
+        for &w in &Workload::ALL {
+            grid.push(
+                RunSpec::new(
+                    kind.label(),
+                    SystemConfig::paper_default().with_filter(kind),
+                    w,
+                )
+                .instructions(n),
+            );
+        }
+    }
+    let reports = run_grid(grid);
+    let by = |label: &str| -> Vec<&ppf::sim::SimReport> {
+        reports.iter().filter(|r| r.label == label).collect()
+    };
+    let (none, pa, pc) = (by("none"), by("PA"), by("PC"));
+
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "bad kept PA",
+        "bad kept PC",
+        "good kept PA",
+        "good kept PC",
+        "IPC none",
+        "IPC PA",
+        "IPC PC",
+    ]);
+    let mut gains_pa = Vec::new();
+    let mut gains_pc = Vec::new();
+    for i in 0..none.len() {
+        let b0 = none[i].stats.bad_total().max(1) as f64;
+        let g0 = none[i].stats.good_total().max(1) as f64;
+        gains_pa.push(pa[i].ipc() / none[i].ipc());
+        gains_pc.push(pc[i].ipc() / none[i].ipc());
+        t.row(vec![
+            none[i].workload.clone(),
+            pct(pa[i].stats.bad_total() as f64 / b0),
+            pct(pc[i].stats.bad_total() as f64 / b0),
+            pct(pa[i].stats.good_total() as f64 / g0),
+            pct(pc[i].stats.good_total() as f64 / g0),
+            f3(none[i].ipc()),
+            f3(pa[i].ipc()),
+            f3(pc[i].ipc()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "geomean IPC vs no-filter:  PA {}   PC {}",
+        pct(geomean(&gains_pa) - 1.0),
+        pct(geomean(&gains_pc) - 1.0)
+    );
+}

@@ -1,0 +1,47 @@
+//! # ppf — Prefetch Pollution Filter simulator
+//!
+//! A from-scratch Rust reproduction of *"A Hardware-based Cache Pollution
+//! Filtering Mechanism for Aggressive Prefetches"* (Zhuang & Lee, ICPP 2003).
+//!
+//! The paper's idea: aggressive hardware and software prefetching pollutes a
+//! small L1 data cache with lines that are never referenced. A small
+//! branch-predictor-style **history table of 2-bit saturating counters** —
+//! indexed by either the prefetched **line address** (PA) or the triggering
+//! instruction's **PC** — learns which prefetches tend to be useless and
+//! drops them before they consume cache ports, bus bandwidth, or L1 lines.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`types`] — addresses, configuration ([`types::SystemConfig`] mirrors
+//!   Table 1 of the paper), statistics.
+//! * [`mem`] — caches with PIB/RIB line metadata, port arbitration, bus,
+//!   DRAM, the prefetch queue and the §5.5 dedicated prefetch buffer.
+//! * [`prefetch`] — NSP, SDP and stride hardware prefetchers plus software
+//!   prefetch plumbing.
+//! * [`filter`] — the paper's contribution: PA/PC pollution filters.
+//! * [`cpu`] — an 8-wide out-of-order timing core.
+//! * [`workloads`] — deterministic models of the ten paper benchmarks.
+//! * [`sim`] — the assembled simulator and per-figure experiment presets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppf::sim::Simulator;
+//! use ppf::types::{FilterKind, SystemConfig};
+//! use ppf::workloads::Workload;
+//!
+//! let config = SystemConfig::paper_default().with_filter(FilterKind::Pc);
+//! let mut sim = Simulator::new(config, Workload::Em3d.stream(42)).unwrap();
+//! let report = sim.run(200_000);
+//! println!("IPC = {:.3}", report.stats.ipc());
+//! println!("good prefetches = {}", report.stats.good_total());
+//! println!("bad  prefetches = {}", report.stats.bad_total());
+//! ```
+
+pub use ppf_cpu as cpu;
+pub use ppf_filter as filter;
+pub use ppf_mem as mem;
+pub use ppf_prefetch as prefetch;
+pub use ppf_sim as sim;
+pub use ppf_types as types;
+pub use ppf_workloads as workloads;

@@ -1,0 +1,75 @@
+//! End-to-end determinism: a run is a pure function of (config, workload,
+//! seed) — across repeated runs, across the parallel sweep runner, and
+//! across every machine variant.
+
+use ppf::sim::{run_grid, RunSpec, Simulator};
+use ppf::types::{FilterKind, SystemConfig};
+use ppf::workloads::Workload;
+
+const N: u64 = 120_000;
+
+#[test]
+fn identical_runs_produce_identical_stats() {
+    for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
+        let run = || {
+            let cfg = SystemConfig::paper_default().with_filter(kind);
+            let mut sim = Simulator::new(cfg, Workload::Mcf.stream(123)).unwrap();
+            sim.warmup(40_000);
+            sim.run(N).stats
+        };
+        assert_eq!(run(), run(), "{kind:?}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed: u64| {
+        let mut sim =
+            Simulator::new(SystemConfig::paper_default(), Workload::Gcc.stream(seed)).unwrap();
+        sim.run(N).stats
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn parallel_runner_is_bit_identical_to_sequential() {
+    let specs: Vec<RunSpec> = Workload::ALL
+        .iter()
+        .take(4)
+        .map(|&w| RunSpec::new("x", SystemConfig::paper_default(), w).instructions(N))
+        .collect();
+    let seq: Vec<_> = specs.iter().map(RunSpec::run).collect();
+    let par = run_grid(specs);
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(a.stats, b.stats, "{}", a.workload);
+    }
+}
+
+#[test]
+fn variant_machines_are_deterministic_too() {
+    let variants = [
+        SystemConfig::paper_default().with_l1_32k(),
+        SystemConfig::paper_default().with_l1_ports(5),
+        SystemConfig::paper_default().with_prefetch_buffer(),
+        SystemConfig::paper_default()
+            .with_filter(FilterKind::Pa)
+            .with_table_entries(1024),
+    ];
+    for cfg in variants {
+        let run = || {
+            let mut sim = Simulator::new(cfg.clone(), Workload::Gzip.stream(9)).unwrap();
+            sim.run(N).stats
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn report_serde_round_trip() {
+    let report = RunSpec::new("label", SystemConfig::paper_default(), Workload::Bh)
+        .instructions(N)
+        .run();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ppf::sim::SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the extensions beyond the paper (DESIGN.md §7):
+//! per-source split history tables, the victim-cache ablation, the Markov
+//! correlation prefetcher, the stride RPT, adaptive engagement, and the
+//! strict (no-recovery) filter variant.
+
+use ppf::sim::{run_grid, RunSpec};
+use ppf::types::{FilterKind, PrefetchSource, SystemConfig};
+use ppf::workloads::Workload;
+
+const N: u64 = 250_000;
+
+#[test]
+fn split_tables_cut_more_bad_prefetches_at_same_budget() {
+    let mut grid = Vec::new();
+    for (label, split) in [("shared", false), ("split", true)] {
+        for &w in &Workload::ALL {
+            let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pc);
+            cfg.filter.split_by_source = split;
+            grid.push(RunSpec::new(label, cfg, w).instructions(N));
+        }
+    }
+    let reports = run_grid(grid);
+    let total = |label: &str, f: fn(&ppf::sim::SimReport) -> u64| -> u64 {
+        reports.iter().filter(|r| r.label == label).map(f).sum()
+    };
+    let shared_bad = total("shared", |r| r.stats.bad_total());
+    let split_bad = total("split", |r| r.stats.bad_total());
+    let shared_good = total("shared", |r| r.stats.good_total());
+    let split_good = total("split", |r| r.stats.good_total());
+    assert!(
+        split_bad < shared_bad,
+        "isolating sources must reduce bad prefetches ({split_bad} vs {shared_bad})"
+    );
+    assert!(
+        (split_good as f64) > 0.95 * shared_good as f64,
+        "without sacrificing good ones ({split_good} vs {shared_good})"
+    );
+}
+
+#[test]
+fn victim_cache_serves_conflict_misses() {
+    let base = RunSpec::new("base", SystemConfig::paper_default(), Workload::Gcc)
+        .instructions(N)
+        .run();
+    let with_victim = RunSpec::new(
+        "victim",
+        SystemConfig::paper_default().with_victim_cache(8),
+        Workload::Gcc,
+    )
+    .instructions(N)
+    .run();
+    // The victim cache absorbs direct-mapped conflict misses, which shows
+    // up as a lower effective L1 miss cost — IPC must not regress.
+    assert!(
+        with_victim.ipc() >= 0.99 * base.ipc(),
+        "victim cache must not hurt ({:.3} vs {:.3})",
+        with_victim.ipc(),
+        base.ipc()
+    );
+}
+
+#[test]
+fn victim_cache_census_stays_conserved() {
+    let r = RunSpec::new(
+        "v",
+        SystemConfig::paper_default()
+            .with_filter(FilterKind::Pa)
+            .with_victim_cache(8),
+        Workload::Mcf,
+    )
+    .instructions(N)
+    .run();
+    let issued = r.stats.prefetches_issued.total();
+    let classified = r.stats.good_total() + r.stats.bad_total();
+    let slack = (256 + 8 + 64) as u64; // L1 lines + victim entries + queue
+    assert!(
+        classified + slack >= issued && classified <= issued + slack,
+        "issued {issued} vs classified {classified}"
+    );
+}
+
+#[test]
+fn correlation_prefetcher_contributes_on_repetitive_chases() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.prefetch.nsp = false;
+    cfg.prefetch.sdp = false;
+    cfg.prefetch.software = false;
+    cfg.prefetch.correlation = true;
+    // em3d's chase is a fixed permutation: miss successors repeat every
+    // period, which is exactly what a Markov table learns.
+    let r = RunSpec::new("corr", cfg, Workload::Em3d)
+        .instructions(N)
+        .run();
+    let issued = r.stats.prefetches_issued.get(PrefetchSource::Stride);
+    assert!(issued > 1_000, "correlation must fire ({issued})");
+    let good = r.stats.prefetch_good.get(PrefetchSource::Stride);
+    let bad = r.stats.prefetch_bad.get(PrefetchSource::Stride);
+    assert!(
+        good > bad,
+        "learned successors should be mostly right ({good} good vs {bad} bad)"
+    );
+}
+
+#[test]
+fn stride_prefetcher_covers_strided_misses() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.prefetch.nsp = false;
+    cfg.prefetch.sdp = false;
+    cfg.prefetch.software = false;
+    cfg.prefetch.stride = true;
+    let r = RunSpec::new("stride", cfg, Workload::Wave5)
+        .instructions(N)
+        .run();
+    let issued = r.stats.prefetches_issued.get(PrefetchSource::Stride);
+    assert!(issued > 1_000, "RPT must fire on wave5 ({issued})");
+    let good = r.stats.prefetch_good.get(PrefetchSource::Stride);
+    assert!(
+        good as f64 > 0.6 * issued as f64,
+        "strided prefetches are mostly good ({good}/{issued})"
+    );
+}
+
+#[test]
+fn adaptive_gate_spares_accurate_prefetching() {
+    // On a benchmark whose prefetches are mostly good, the adaptive gate
+    // should keep the filter disengaged and lose fewer good prefetches
+    // than the always-on filter.
+    let mk = |adaptive: bool| {
+        let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+        if adaptive {
+            cfg.filter.adaptive_accuracy_threshold = Some(0.5);
+        }
+        RunSpec::new(
+            if adaptive { "adaptive" } else { "always" },
+            cfg,
+            Workload::Wave5,
+        )
+        .instructions(N)
+        .run()
+    };
+    let always = mk(false);
+    let adaptive = mk(true);
+    assert!(
+        adaptive.stats.good_total() >= always.stats.good_total(),
+        "gate must preserve good prefetches on an accurate workload ({} vs {})",
+        adaptive.stats.good_total(),
+        always.stats.good_total()
+    );
+}
+
+#[test]
+fn strict_filter_rejects_more_but_recovers_nothing() {
+    let mk = |window: u64| {
+        let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+        cfg.filter.recovery_window = window;
+        RunSpec::new("x", cfg, Workload::Em3d).instructions(N).run()
+    };
+    let strict = mk(0);
+    let recovering = mk(400);
+    assert!(
+        strict.stats.prefetches_filtered.total() > recovering.stats.prefetches_filtered.total(),
+        "strict filter must reject more ({} vs {})",
+        strict.stats.prefetches_filtered.total(),
+        recovering.stats.prefetches_filtered.total()
+    );
+    assert!(
+        strict.stats.good_total() < recovering.stats.good_total(),
+        "and lose more good prefetches doing it"
+    );
+}
+
+#[test]
+fn nsp_degree_scales_traffic() {
+    let mk = |degree: u32| {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.prefetch.nsp_degree = degree;
+        RunSpec::new("x", cfg, Workload::Gzip).instructions(N).run()
+    };
+    let d1 = mk(1);
+    let d4 = mk(4);
+    assert!(
+        d4.stats.prefetches_proposed.total() > 2 * d1.stats.prefetches_proposed.total(),
+        "degree 4 must propose much more than degree 1 ({} vs {})",
+        d4.stats.prefetches_proposed.total(),
+        d1.stats.prefetches_proposed.total()
+    );
+}

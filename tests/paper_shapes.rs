@@ -1,0 +1,215 @@
+//! Shape assertions for the paper's main results: not exact numbers (the
+//! substrate is a synthetic model, see EXPERIMENTS.md) but the direction
+//! and rough magnitude of every headline claim.
+
+use ppf::sim::{run_grid, RunSpec, SimReport};
+use ppf::types::{FilterKind, SystemConfig};
+use ppf::workloads::Workload;
+
+const N: u64 = 400_000;
+
+fn filter_grid(base: SystemConfig) -> Vec<SimReport> {
+    let mut grid = Vec::new();
+    for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
+        for &w in &Workload::ALL {
+            grid.push(
+                RunSpec::new(kind.label(), base.clone().with_filter(kind), w).instructions(N),
+            );
+        }
+    }
+    run_grid(grid)
+}
+
+fn by<'a>(r: &'a [SimReport], label: &str) -> Vec<&'a SimReport> {
+    r.iter().filter(|x| x.label == label).collect()
+}
+
+#[test]
+fn filters_cut_bad_more_than_good() {
+    // The paper's core claim (Figure 4): both filters eliminate a large
+    // share of bad prefetches while keeping proportionally more good ones.
+    let reports = filter_grid(SystemConfig::paper_default());
+    let none = by(&reports, "none");
+    for label in ["PA", "PC"] {
+        let filt = by(&reports, label);
+        let mut bad_kept = 0.0;
+        let mut good_kept = 0.0;
+        for i in 0..none.len() {
+            bad_kept += filt[i].stats.bad_total() as f64 / none[i].stats.bad_total().max(1) as f64;
+            good_kept +=
+                filt[i].stats.good_total() as f64 / none[i].stats.good_total().max(1) as f64;
+        }
+        bad_kept /= none.len() as f64;
+        good_kept /= none.len() as f64;
+        assert!(
+            bad_kept < 0.75,
+            "{label}: should remove a large share of bad prefetches, kept {bad_kept:.2}"
+        );
+        assert!(
+            good_kept > bad_kept + 0.1,
+            "{label}: must keep clearly more good than bad (good {good_kept:.2}, bad {bad_kept:.2})"
+        );
+    }
+}
+
+#[test]
+fn filters_reduce_prefetch_bandwidth() {
+    // §5.2.1: large reduction in total prefetch traffic.
+    let reports = filter_grid(SystemConfig::paper_default());
+    let none = by(&reports, "none");
+    for label in ["PA", "PC"] {
+        let filt = by(&reports, label);
+        let base: u64 = none.iter().map(|r| r.stats.prefetches_issued.total()).sum();
+        let kept: u64 = filt.iter().map(|r| r.stats.prefetches_issued.total()).sum();
+        assert!(
+            (kept as f64) < 0.85 * base as f64,
+            "{label}: issued prefetch traffic should drop materially ({kept} vs {base})"
+        );
+    }
+}
+
+#[test]
+fn filter_helps_pollution_dominated_benchmarks() {
+    // Where bad prefetches dominate (pointer-chasing with big cold
+    // footprints), the filter's pollution relief must show up as IPC gain —
+    // the sign of the paper's Figure 6 for its worst polluters.
+    let reports = filter_grid(SystemConfig::paper_default());
+    let none = by(&reports, "none");
+    let pa = by(&reports, "PA");
+    for (i, r) in none.iter().enumerate() {
+        if matches!(
+            Workload::from_name(&r.workload),
+            Some(Workload::Perimeter) | Some(Workload::Mcf)
+        ) {
+            let gain = pa[i].ipc() / r.ipc();
+            assert!(
+                gain > 1.0,
+                "{}: PA filter should improve IPC, got {:.3}x",
+                r.workload,
+                gain
+            );
+        }
+    }
+}
+
+#[test]
+fn pointer_codes_have_mostly_bad_prefetches() {
+    // Figure 1's split: next-line prefetching is mostly wrong on pointer
+    // chasing and mostly right on strided FP.
+    let reports = run_grid(
+        [
+            Workload::Perimeter,
+            Workload::Gcc,
+            Workload::Wave5,
+            Workload::Fpppp,
+        ]
+        .iter()
+        .map(|&w| RunSpec::new("none", SystemConfig::paper_default(), w).instructions(N))
+        .collect(),
+    );
+    let frac_bad = |r: &SimReport| {
+        r.stats.bad_total() as f64 / (r.stats.bad_total() + r.stats.good_total()).max(1) as f64
+    };
+    assert!(frac_bad(&reports[0]) > 0.5, "perimeter mostly bad");
+    assert!(frac_bad(&reports[1]) > 0.5, "gcc mostly bad");
+    assert!(frac_bad(&reports[2]) < 0.3, "wave5 mostly good");
+    assert!(frac_bad(&reports[3]) < 0.3, "fpppp mostly good");
+}
+
+#[test]
+fn larger_cache_preserves_more_good_prefetches() {
+    // §5.2.2: with a 32KB L1 the filters keep more good prefetches than
+    // with 8KB (less eviction pressure, better-behaved feedback).
+    let r8 = filter_grid(SystemConfig::paper_default());
+    let r32 = filter_grid(SystemConfig::paper_default().with_l1_32k());
+    let keep = |reports: &[SimReport]| {
+        let none = by(reports, "none");
+        let pa = by(reports, "PA");
+        let mut k = 0.0;
+        for i in 0..none.len() {
+            k += pa[i].stats.good_total() as f64 / none[i].stats.good_total().max(1) as f64;
+        }
+        k / none.len() as f64
+    };
+    let keep8 = keep(&r8);
+    let keep32 = keep(&r32);
+    assert!(
+        keep32 > keep8 - 0.02,
+        "32KB keeps at least as many good prefetches (8KB {keep8:.2}, 32KB {keep32:.2})"
+    );
+}
+
+#[test]
+fn bigger_l1_reduces_miss_rate_at_a_latency_cost() {
+    // §5.2.1's comparison point: the 16KB L1 (2-cycle) halves conflict and
+    // capacity misses relative to the 8KB machine. (The paper reports a
+    // ~20% IPC win for 16KB; in this model the extra hit cycle absorbs
+    // most of that — see EXPERIMENTS.md — but the miss-rate effect, which
+    // drives the paper's argument, must hold.)
+    let mut grid = Vec::new();
+    for &w in &Workload::ALL {
+        grid.push(RunSpec::new("8KB", SystemConfig::paper_default(), w).instructions(N));
+        grid.push(
+            RunSpec::new("16KB", SystemConfig::paper_default().with_l1_16k(), w).instructions(N),
+        );
+    }
+    let reports = run_grid(grid);
+    let mut better = 0;
+    for pair in reports.chunks(2) {
+        if pair[1].stats.l1.miss_rate() <= pair[0].stats.l1.miss_rate() + 1e-6 {
+            better += 1;
+        }
+    }
+    assert!(
+        better >= 9,
+        "16KB must not raise the L1 miss rate ({better}/10 improved)"
+    );
+}
+
+#[test]
+fn prefetch_buffer_degrades_filter_classification_on_pointer_codes() {
+    // §5.5 / Figure 15: "in most of the programs, adding a dedicated
+    // prefetch buffer degrades the effectiveness of pollution filters" —
+    // the 16-entry buffer's short lifetime misclassifies prefetches, and
+    // the bad/good ratio under the filter gets *worse* for the
+    // pointer-chasing programs. (The paper's companion IPC claim depends
+    // on its 3-4x higher prefetch traffic; see EXPERIMENTS.md.)
+    let mut grid = Vec::new();
+    for w in [Workload::Perimeter, Workload::Mcf] {
+        let pa = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+        grid.push(RunSpec::new("PA", pa.clone(), w).instructions(N));
+        grid.push(RunSpec::new("PA+buf", pa.with_prefetch_buffer(), w).instructions(N));
+    }
+    let reports = run_grid(grid);
+    for pair in reports.chunks(2) {
+        let plain = pair[0].stats.bad_good_ratio();
+        let buffered = pair[1].stats.bad_good_ratio();
+        assert!(
+            buffered > plain,
+            "{}: buffer should worsen the bad/good ratio ({plain:.2} -> {buffered:.2})",
+            pair[0].workload
+        );
+    }
+}
+
+#[test]
+fn port_starved_machine_shows_contention() {
+    // §5.4 foundation: with a single L1 port, demand accesses visibly
+    // contend with prefetch traffic.
+    let mut cfg = SystemConfig::paper_default();
+    cfg.l1.ports = 1;
+    let r = RunSpec::new("1port", cfg, Workload::Em3d)
+        .instructions(N)
+        .run();
+    assert!(r.stats.demand_port_retries > 0);
+    assert!(r.stats.l1_port_conflict_cycles > 0);
+    let r3 = RunSpec::new("3port", SystemConfig::paper_default(), Workload::Em3d)
+        .instructions(N)
+        .run();
+    assert!(
+        r3.ipc() > r.ipc(),
+        "three ports must beat one ({:.3} vs {:.3})",
+        r3.ipc(),
+        r.ipc()
+    );
+}
