@@ -1,0 +1,10 @@
+#!/bin/sh
+# The repository's tier-1 gate, runnable locally and from CI.
+# Order matters: the release build is the cheapest smoke signal, the quick
+# test pass is what the roadmap defines as tier-1, and clippy last so a
+# lint never masks a real failure.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

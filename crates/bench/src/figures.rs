@@ -17,9 +17,10 @@ use ppf_workloads::Workload;
 use std::fmt::Write as _;
 
 /// All experiment names accepted by [`run_experiment`].
-pub const EXPERIMENTS: [&str; 30] = [
+pub const EXPERIMENTS: [&str; 31] = [
     "table1",
     "table2",
+    "calibrate",
     "fig1",
     "fig2",
     "fig4",
@@ -70,6 +71,7 @@ pub fn run_experiment_seeds(
             return Ok(table1());
         }
         "table2" => run_and(name, experiments::table2(insts), table2),
+        "calibrate" => run_and(name, experiments::calibration(insts), calibrate),
         "fig1" => run_and(name, experiments::fig1_2(insts), fig1),
         "fig2" => run_and(name, experiments::fig1_2(insts), fig2),
         "fig4" => run_and(name, experiments::fig4_5_6(insts), |r| fig4_style(r, "8KB")),
@@ -143,7 +145,7 @@ pub fn run_experiment_seeds(
     if let Some(dir) = json_dir {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         let path = format!("{dir}/{title}.json");
-        let json = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+        let json = ppf_types::ToJson::to_json_pretty(&reports);
         std::fs::write(&path, json).map_err(|e| e.to_string())?;
     }
     Ok(body)
@@ -272,6 +274,100 @@ pub fn table2(reports: &[SimReport]) -> String {
         ]);
     }
     out.push_str(&t.render());
+    out
+}
+
+/// `figures calibrate` tolerances — the same bands `tests/calibration.rs`
+/// enforces: a workload is "ok" when its measured miss rate is within the
+/// relative band of the Table 2 target *or* within the absolute band.
+const CAL_L1_REL: f64 = 0.25;
+const CAL_L1_ABS: f64 = 0.015;
+const CAL_L2_REL: f64 = 0.35;
+const CAL_L2_ABS: f64 = 0.03;
+
+fn within_band(measured: f64, target: f64, rel: f64, abs: f64) -> bool {
+    (measured - target).abs() <= target * rel || (measured - target).abs() <= abs
+}
+
+/// Drift cell: signed percentage-point delta, flagged when outside both the
+/// relative and absolute tolerance bands.
+fn drift_cell(measured: f64, target: f64, rel: f64, abs: f64) -> String {
+    let mark = if within_band(measured, target, rel, abs) {
+        ""
+    } else {
+        " !"
+    };
+    format!("{:+.2}pt{mark}", 100.0 * (measured - target))
+}
+
+/// Percentage shares of one level's 3C miss breakdown ("cm/cp/cf %").
+fn class_cell(mc: &ppf_types::MissClass) -> String {
+    if mc.total() == 0 {
+        return "-".to_string();
+    }
+    format!(
+        "{:.0}/{:.0}/{:.0}",
+        100.0 * mc.compulsory_frac(),
+        100.0 * mc.capacity_frac(),
+        100.0 * mc.conflict_frac()
+    )
+}
+
+/// `figures calibrate`: per-workload drift against the Table 2 targets with
+/// the shadow-tag compulsory/capacity/conflict breakdown. Rows flagged `!`
+/// fall outside the calibration-test tolerance for that level.
+pub fn calibrate(reports: &[SimReport]) -> String {
+    let mut out = header("Calibration: measured vs Table 2 targets (prefetch off)");
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "L1 miss%",
+        "paper L1",
+        "L1 drift",
+        "L2 miss%",
+        "paper L2",
+        "L2 drift",
+        "L1 3C%",
+        "L2 3C%",
+    ]);
+    let mut ok = 0usize;
+    for r in reports {
+        let w = Workload::from_name(&r.workload).expect("known workload");
+        let spec = w.spec();
+        let l1 = r.stats.l1.miss_rate();
+        let l2 = r.stats.l2.miss_rate();
+        if within_band(l1, spec.expect_l1_miss, CAL_L1_REL, CAL_L1_ABS)
+            && within_band(l2, spec.expect_l2_miss, CAL_L2_REL, CAL_L2_ABS)
+        {
+            ok += 1;
+        }
+        t.row(vec![
+            r.workload.clone(),
+            pct(l1),
+            pct(spec.expect_l1_miss),
+            drift_cell(l1, spec.expect_l1_miss, CAL_L1_REL, CAL_L1_ABS),
+            pct(l2),
+            pct(spec.expect_l2_miss),
+            drift_cell(l2, spec.expect_l2_miss, CAL_L2_REL, CAL_L2_ABS),
+            class_cell(&r.stats.l1.miss_class),
+            class_cell(&r.stats.l2.miss_class),
+        ]);
+    }
+    let total = t.len();
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "{ok}/{total} workloads within the calibration tolerance \
+         (L1: {}% rel or {}pt; L2: {}% rel or {}pt)",
+        100.0 * CAL_L1_REL,
+        100.0 * CAL_L1_ABS,
+        100.0 * CAL_L2_REL,
+        100.0 * CAL_L2_ABS
+    );
+    let _ = writeln!(
+        out,
+        "3C% columns: compulsory/capacity/conflict shares of demand misses \
+         (shadow infinite-tag + fully-associative tag)"
+    );
     out
 }
 

@@ -35,14 +35,13 @@ pub mod recovery;
 pub mod table;
 
 use ppf_types::{FilterConfig, FilterKind, PrefetchOrigin, PrefetchRequest, PrefetchSource};
-use serde::{Deserialize, Serialize};
 
 use adaptive::AdaptiveGate;
 use table::HistoryTable;
 
 /// Filter-local statistics (also mirrored into the global `SimStats` by the
 /// simulator; kept here so the filter is independently testable).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FilterStats {
     /// Lookups that predicted "good" (prefetch allowed).
     pub allowed: u64,
@@ -56,6 +55,26 @@ pub struct FilterStats {
     pub bypassed: u64,
     /// Rejections later proven wrong by a demand miss (recovery trains).
     pub recovered: u64,
+}
+
+ppf_types::json_struct!(FilterStats {
+    allowed,
+    rejected,
+    trained_good,
+    trained_bad,
+    bypassed,
+    recovered,
+});
+
+/// Largest power of two `<= n` (0 for 0). Table sizing rounds *down* so a
+/// configured storage budget is never exceeded.
+#[inline]
+fn floor_pow2(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - n.leading_zeros())
+    }
 }
 
 /// Per-key diagnostic record (only populated when tracing is enabled).
@@ -96,18 +115,21 @@ impl PollutionFilter {
     /// filter admits everything and trains nothing (the baseline machine).
     pub fn new(cfg: &FilterConfig) -> Self {
         let tables = if cfg.kind == FilterKind::Hybrid {
-            // tables[0] is PA-indexed, tables[1] is PC-indexed; the same
-            // total budget is split in half.
-            let per = (cfg.table_entries / 2).next_power_of_two().max(64);
+            // tables[0] is PA-indexed, tables[1] is PC-indexed. The chooser
+            // below takes half the advertised budget, each component a
+            // quarter, so components + chooser together stay inside
+            // `table_entries` counters (floored at 64 entries each for
+            // degenerate budgets).
+            let per = floor_pow2(cfg.table_entries / 4).max(64);
             vec![
                 HistoryTable::with_init(per, cfg.counter_bits, cfg.counter_init),
                 HistoryTable::with_init(per, cfg.counter_bits, cfg.counter_init),
             ]
         } else if cfg.split_by_source {
-            // Same total budget, four ways; floor at 64 entries each.
-            let per = (cfg.table_entries / PrefetchSource::COUNT)
-                .next_power_of_two()
-                .max(64);
+            // Same total budget, four ways; round *down* to a power of two
+            // (rounding up would overshoot the budget whenever the quarter
+            // is not already a power of two); floor at 64 entries each.
+            let per = floor_pow2(cfg.table_entries / PrefetchSource::COUNT).max(64);
             (0..PrefetchSource::COUNT)
                 .map(|_| HistoryTable::with_init(per, cfg.counter_bits, cfg.counter_init))
                 .collect()
@@ -131,8 +153,17 @@ impl PollutionFilter {
             reject_log: (cfg.kind != FilterKind::None && cfg.recovery_window > 0).then(|| {
                 recovery::RejectLog::with_window(recovery::DEFAULT_REJECT_LOG, cfg.recovery_window)
             }),
-            chooser: (cfg.kind == FilterKind::Hybrid)
-                .then(|| HistoryTable::new(cfg.table_entries.max(64), 2)),
+            // Half the advertised budget; honors the configured counter
+            // width and initial state like the component tables (the
+            // PC-indexed chooser aliases across trigger sites, so it gets
+            // the larger share).
+            chooser: (cfg.kind == FilterKind::Hybrid).then(|| {
+                HistoryTable::with_init(
+                    floor_pow2(cfg.table_entries / 2).max(64),
+                    cfg.counter_bits,
+                    cfg.counter_init,
+                )
+            }),
         }
     }
 
@@ -164,6 +195,19 @@ impl PollutionFilter {
     /// Number of history tables (1 shared, or one per prefetch source).
     pub fn table_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Entry count of the hybrid chooser table; `None` for non-hybrid kinds.
+    pub fn chooser_entries(&self) -> Option<usize> {
+        self.chooser.as_ref().map(HistoryTable::entries)
+    }
+
+    /// Total counters across every structure the filter allocates
+    /// (component tables plus the hybrid chooser) — the real storage cost
+    /// to compare against the advertised `FilterConfig::table_entries`.
+    pub fn storage_entries(&self) -> usize {
+        self.tables.iter().map(HistoryTable::entries).sum::<usize>()
+            + self.chooser_entries().unwrap_or(0)
     }
 
     #[inline]
@@ -537,9 +581,74 @@ mod tests {
 
     #[test]
     fn hybrid_splits_the_budget() {
-        let f = PollutionFilter::new(&cfg(FilterKind::Hybrid));
+        let c = cfg(FilterKind::Hybrid);
+        let f = PollutionFilter::new(&c);
         assert_eq!(f.table_count(), 2);
-        assert_eq!(f.table_entries(), 2048, "4096 split across PA and PC");
+        assert_eq!(f.table_entries(), 1024, "a quarter each for PA and PC");
+        assert_eq!(f.chooser_entries(), Some(2048), "half for the chooser");
+        assert_eq!(
+            f.storage_entries(),
+            c.table_entries,
+            "components + chooser together spend exactly the advertised budget"
+        );
+    }
+
+    #[test]
+    fn hybrid_chooser_honors_counter_config() {
+        // The chooser is sized inside the budget AND follows the configured
+        // counter width/init instead of hardcoding 2-bit weakly-good.
+        let mut c = cfg(FilterKind::Hybrid);
+        c.counter_bits = 3;
+        c.counter_init = ppf_types::CounterInit::WeaklyBad;
+        let mut f = PollutionFilter::new(&c);
+        assert!(f.storage_entries() <= c.table_entries);
+        // Weakly-bad init: the chooser starts distrusting PC, and both
+        // component tables start rejecting, so a first-touch prefetch is
+        // rejected — observable proof the init reached all three tables.
+        assert!(!f.should_prefetch(&req(1, 0x100), 0));
+    }
+
+    #[test]
+    fn non_pow2_budget_never_overshoots() {
+        // Regression: sizing used `next_power_of_two()`, which rounds UP —
+        // a 1000-entry budget split four ways became 4 x 256 = 1024 > 1000.
+        // Rounding down keeps every layout inside the advertised budget.
+        for split in [false, true] {
+            for kind in [FilterKind::Pa, FilterKind::Pc, FilterKind::Hybrid] {
+                let mut c = cfg(kind);
+                c.table_entries = 1000;
+                c.split_by_source = split;
+                // Shared non-split tables require a power-of-two entry
+                // count; only the derived (split/hybrid) layouts accept an
+                // arbitrary budget.
+                if kind == FilterKind::Hybrid || split {
+                    let f = PollutionFilter::new(&c);
+                    assert!(
+                        f.storage_entries() <= c.table_entries,
+                        "{kind:?} split={split}: {} counters from a budget of {}",
+                        f.storage_entries(),
+                        c.table_entries
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_recovery_window_disables_reject_log() {
+        let mut c = cfg(FilterKind::Pc);
+        c.recovery_window = 0;
+        let mut f = PollutionFilter::new(&c);
+        let r = req(500, 0x100);
+        f.on_eviction(&r.origin(), false);
+        f.on_eviction(&r.origin(), false);
+        assert!(!f.should_prefetch(&r, 0));
+        // With the log disabled, a demand miss on the rejected line is NOT
+        // treated as a misprediction: nothing recovers, the key stays bad.
+        f.on_demand_miss(LineAddr(500), 1);
+        f.on_demand_miss(LineAddr(500), 2);
+        assert_eq!(f.stats().recovered, 0);
+        assert!(!f.should_prefetch(&r, 3));
     }
 
     #[test]

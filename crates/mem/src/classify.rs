@@ -1,0 +1,183 @@
+//! Shadow-tag miss classification (the 3C taxonomy).
+//!
+//! When [`ppf_types::DiagnosticsConfig::classify_misses`] is set, each cache
+//! level carries two shadow tag structures that observe the *demand*
+//! reference stream alongside the real array:
+//!
+//! * an **infinite-tag** shadow — a set of every line ever referenced. A
+//!   miss on a never-seen line is **compulsory**: even an unbounded cache
+//!   would miss it.
+//! * a **fully-associative** shadow of the same capacity with true LRU. A
+//!   non-compulsory miss that this shadow would also miss is a **capacity**
+//!   miss; one the shadow would have hit is a **conflict** miss — only the
+//!   real array's limited associativity/indexing evicted the line early.
+//!
+//! Prefetch fills are deliberately *not* replayed into the shadows: the
+//! taxonomy answers "how would this demand stream behave in an ideal
+//! cache?", so pollution from aggressive prefetching cannot perturb the
+//! classification it is being measured against. The shadows are tag-only
+//! (no data, no timing) and live outside the simulated machine.
+
+use ppf_types::{LineAddr, MissClass};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// How a (real-cache) miss would have fared in the shadow structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissKind {
+    /// First reference to the line anywhere in the run.
+    Compulsory,
+    /// A fully-associative cache of the same capacity would also miss.
+    Capacity,
+    /// Only the real array's indexing/associativity lost the line.
+    Conflict,
+}
+
+impl MissKind {
+    /// Bump the matching [`MissClass`] counter.
+    pub fn tally(self, into: &mut MissClass) {
+        match self {
+            MissKind::Compulsory => into.compulsory += 1,
+            MissKind::Capacity => into.capacity += 1,
+            MissKind::Conflict => into.conflict += 1,
+        }
+    }
+}
+
+/// Fully-associative LRU tag array. Recency is a monotone stamp per line
+/// plus an ordered stamp → line index, giving O(log n) touch/evict without
+/// any unsafe linked-list plumbing; determinism comes for free.
+#[derive(Debug, Default)]
+struct ShadowLru {
+    cap: usize,
+    tick: u64,
+    stamp_of: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+}
+
+impl ShadowLru {
+    fn new(cap: usize) -> Self {
+        ShadowLru {
+            cap: cap.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Reference `line`: returns whether it was resident, then makes it the
+    /// most recently used entry (evicting the LRU line on overflow).
+    fn touch(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let hit = if let Some(old) = self.stamp_of.insert(line, self.tick) {
+            self.by_stamp.remove(&old);
+            true
+        } else {
+            false
+        };
+        self.by_stamp.insert(self.tick, line);
+        if self.stamp_of.len() > self.cap {
+            let (_, victim) = self.by_stamp.pop_first().expect("over capacity");
+            self.stamp_of.remove(&victim);
+        }
+        hit
+    }
+}
+
+/// Shadow structures for one cache level.
+#[derive(Debug)]
+pub struct MissClassifier {
+    seen: HashSet<u64>,
+    fa: ShadowLru,
+}
+
+impl MissClassifier {
+    /// Shadows for a cache holding `total_lines` lines.
+    pub fn new(total_lines: usize) -> Self {
+        MissClassifier {
+            seen: HashSet::new(),
+            fa: ShadowLru::new(total_lines),
+        }
+    }
+
+    /// Observe one demand reference. Must be called for *every* demand
+    /// access — hits included — so the shadow LRU state tracks the full
+    /// stream. The returned kind is meaningful only when the real cache
+    /// missed; on a hit the caller simply discards it.
+    pub fn access(&mut self, line: LineAddr) -> MissKind {
+        let new = self.seen.insert(line.0);
+        let fa_hit = self.fa.touch(line.0);
+        if new {
+            MissKind::Compulsory
+        } else if fa_hit {
+            MissKind::Conflict
+        } else {
+            MissKind::Capacity
+        }
+    }
+
+    /// Distinct lines ever observed (diagnostics: the footprint).
+    pub fn footprint_lines(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn first_touch_is_compulsory() {
+        let mut c = MissClassifier::new(4);
+        assert_eq!(c.access(l(1)), MissKind::Compulsory);
+        assert_eq!(c.access(l(2)), MissKind::Compulsory);
+        assert_eq!(c.footprint_lines(), 2);
+    }
+
+    #[test]
+    fn within_capacity_rereference_is_conflict() {
+        // 4-line shadow; 3 distinct lines cycle. A fully-associative cache
+        // never evicts them, so a real-cache miss here must be conflict.
+        let mut c = MissClassifier::new(4);
+        for n in [1, 2, 3] {
+            c.access(l(n));
+        }
+        assert_eq!(c.access(l(1)), MissKind::Conflict);
+        assert_eq!(c.access(l(3)), MissKind::Conflict);
+    }
+
+    #[test]
+    fn oversubscribed_rereference_is_capacity() {
+        // 2-line shadow; 3 lines in round-robin defeat LRU entirely: every
+        // rereference would miss fully-associative too.
+        let mut c = MissClassifier::new(2);
+        for n in [1, 2, 3] {
+            c.access(l(n));
+        }
+        assert_eq!(c.access(l(1)), MissKind::Capacity);
+        assert_eq!(c.access(l(2)), MissKind::Capacity);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_line() {
+        let mut c = MissClassifier::new(2);
+        c.access(l(1));
+        c.access(l(2));
+        c.access(l(1)); // 1 is now MRU; 2 is the LRU victim
+        c.access(l(3)); // evicts 2
+        assert_eq!(c.access(l(1)), MissKind::Conflict, "1 stayed resident");
+        assert_eq!(c.access(l(2)), MissKind::Capacity, "2 was evicted");
+    }
+
+    #[test]
+    fn kinds_tally_into_miss_class() {
+        let mut mc = MissClass::default();
+        MissKind::Compulsory.tally(&mut mc);
+        MissKind::Capacity.tally(&mut mc);
+        MissKind::Capacity.tally(&mut mc);
+        MissKind::Conflict.tally(&mut mc);
+        assert_eq!((mc.compulsory, mc.capacity, mc.conflict), (1, 2, 1));
+        assert_eq!(mc.total(), 4);
+    }
+}

@@ -15,6 +15,7 @@
 use crate::buffer::{BufferEvicted, PrefetchBuffer};
 use crate::bus::Bus;
 use crate::cache::{Cache, Evicted, FillKind, ProbeHit};
+use crate::classify::MissClassifier;
 use crate::dram::MainMemory;
 use crate::mshr::MshrFile;
 use crate::replacement::ReplacementPolicy;
@@ -105,6 +106,10 @@ pub struct Hierarchy {
     /// the paper's "competition for finite bandwidth" (§1.3).
     l2_ports_free: Vec<Cycle>,
     l2_occupancy: u64,
+    /// Shadow-tag miss classifiers for the (L1 data, L2 data-side) demand
+    /// streams; allocated only when [`ppf_types::DiagnosticsConfig`]
+    /// requests classification (see [`crate::classify`]).
+    classify: Option<(MissClassifier, MissClassifier)>,
 }
 
 impl Hierarchy {
@@ -132,6 +137,12 @@ impl Hierarchy {
             line_bytes: cfg.l1.line_bytes,
             l2_ports_free: vec![0; cfg.l2.ports.max(1)],
             l2_occupancy: 2,
+            classify: cfg.diag.classify_misses.then(|| {
+                (
+                    MissClassifier::new(cfg.l1.lines()),
+                    MissClassifier::new(cfg.l2.lines()),
+                )
+            }),
         }
     }
 
@@ -181,6 +192,14 @@ impl Hierarchy {
         // client occupies the port and fills the shared array.
         let l2_start = self.claim_l2_port(now);
         let count = client == L2Client::DemandData;
+        // The L2 shadows observe the same demand-data stream the L2 demand
+        // counters attribute (hits included — LRU recency needs the full
+        // stream); the kind is tallied only if this lookup misses.
+        let l2_kind = if count {
+            self.classify.as_mut().map(|(_, l2c)| l2c.access(line))
+        } else {
+            None
+        };
         if count {
             stats.l2.demand_accesses += 1;
         }
@@ -192,6 +211,9 @@ impl Hierarchy {
         }
         if count {
             stats.l2.demand_misses += 1;
+            if let Some(kind) = l2_kind {
+                kind.tally(&mut stats.l2.miss_class);
+            }
         }
         // L2 miss: memory access then line transfer over the shared bus.
         let mem_done = self.mem.access(line, l2_start + self.l2_lat);
@@ -269,6 +291,10 @@ impl Hierarchy {
     ) -> AccessResult {
         let is_write = matches!(kind, AccessKind::Store);
         stats.l1.demand_accesses += 1;
+        // Shadow structures see every demand reference up front (their LRU
+        // state must track the whole stream); the kind only lands in the
+        // counters if the real L1 goes on to miss.
+        let l1_kind = self.classify.as_mut().map(|(l1c, _)| l1c.access(line));
 
         // With the victim-cache ablation, a line can be in L1 *or* parked
         // in the victim cache; L1 is probed first as in Jouppi's design.
@@ -295,6 +321,9 @@ impl Hierarchy {
             };
         }
         stats.l1.demand_misses += 1;
+        if let Some(kind) = l1_kind {
+            kind.tally(&mut stats.l1.miss_class);
+        }
 
         // Victim-cache probe (one extra cycle, swap back into the L1).
         if let Some(victim) = &mut self.victim {
@@ -672,6 +701,77 @@ mod tests {
         let (origin, referenced) = record.prefetch.expect("prefetched line");
         assert_eq!(origin.line, LineAddr(40));
         assert!(!referenced, "RIB was still 0 when it was evicted");
+    }
+
+    #[test]
+    fn miss_classification_off_by_default() {
+        let (mut h, mut s) = hierarchy();
+        h.demand_access(LineAddr(10), AccessKind::Load, 0, &mut s);
+        assert_eq!(s.l1.demand_misses, 1);
+        assert_eq!(s.l1.miss_class.total(), 0, "diagnostics default off");
+    }
+
+    #[test]
+    fn miss_classification_splits_the_3cs() {
+        let cfg = SystemConfig::paper_default().with_miss_classification();
+        let mut h = Hierarchy::new(&cfg, 7);
+        let mut s = SimStats::default();
+        // Cold miss: compulsory at both levels.
+        h.demand_access(LineAddr(10), AccessKind::Load, 0, &mut s);
+        assert_eq!(s.l1.miss_class.compulsory, 1);
+        assert_eq!(s.l2.miss_class.compulsory, 1);
+        // Conflict-evict line 10 (direct-mapped L1, 256 sets), then
+        // re-demand it: the 256-line fully-associative shadow still holds
+        // both lines, so the re-miss is a conflict miss — and the L2 hit
+        // means no new L2 classification.
+        h.demand_access(LineAddr(10 + 256), AccessKind::Load, 500, &mut s);
+        h.demand_access(LineAddr(10), AccessKind::Load, 1000, &mut s);
+        assert_eq!(s.l1.miss_class.compulsory, 2);
+        assert_eq!(s.l1.miss_class.conflict, 1);
+        assert_eq!(s.l1.miss_class.capacity, 0);
+        assert_eq!(s.l2.miss_class.total(), 2, "both cold lines, then a hit");
+        // Every classified miss is a real miss.
+        assert_eq!(s.l1.miss_class.total(), s.l1.demand_misses);
+    }
+
+    #[test]
+    fn capacity_misses_need_an_oversubscribed_footprint() {
+        let cfg = SystemConfig::paper_default().with_miss_classification();
+        let mut h = Hierarchy::new(&cfg, 7);
+        let mut s = SimStats::default();
+        // Stream 2x the L1's 256 lines round-robin, twice: the second pass
+        // misses everywhere, and LRU in the shadow keeps none of them.
+        for pass in 0..2 {
+            for n in 0..512u64 {
+                h.demand_access(LineAddr(n * 257), AccessKind::Load, 1 + pass * 10_000 + n, &mut s);
+            }
+        }
+        assert_eq!(s.l1.miss_class.compulsory, 512);
+        assert!(
+            s.l1.miss_class.capacity > 400,
+            "second pass is capacity-bound: {:?}",
+            s.l1.miss_class
+        );
+        assert_eq!(s.l1.miss_class.total(), s.l1.demand_misses);
+    }
+
+    #[test]
+    fn prefetch_fills_do_not_perturb_classification() {
+        let cfg = SystemConfig::paper_default().with_miss_classification();
+        let mut h = Hierarchy::new(&cfg, 7);
+        let mut s = SimStats::default();
+        // A prefetch fills line 20; the later demand access hits the real
+        // L1, so nothing is classified — and the shadow never saw the
+        // prefetch either.
+        h.issue_prefetch(&pf(20), 0, &mut s);
+        let r = h.demand_access(LineAddr(20), AccessKind::Load, 400, &mut s);
+        assert!(r.l1_hit);
+        assert_eq!(s.l1.miss_class.total(), 0);
+        // Evict it and demand it again: the shadow saw exactly one prior
+        // reference (the demand hit above), so this miss is a conflict.
+        h.demand_access(LineAddr(20 + 256), AccessKind::Load, 800, &mut s);
+        h.demand_access(LineAddr(20), AccessKind::Load, 1200, &mut s);
+        assert_eq!(s.l1.miss_class.conflict, 1);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`buffer`] — the §5.5 dedicated fully-associative prefetch buffer.
 //! * [`mshr`] — a small outstanding-miss file so that hits on in-flight
 //!   lines observe the fill's completion time.
+//! * [`classify`] — optional shadow-tag structures splitting every demand
+//!   miss into compulsory/capacity/conflict (the 3C taxonomy), enabled via
+//!   [`ppf_types::DiagnosticsConfig`].
 //! * [`hierarchy`] — the assembled two-level hierarchy.
 //!
 //! ## Timing model
@@ -30,6 +33,7 @@
 pub mod buffer;
 pub mod bus;
 pub mod cache;
+pub mod classify;
 pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
@@ -41,6 +45,7 @@ pub mod victim;
 pub use buffer::PrefetchBuffer;
 pub use bus::Bus;
 pub use cache::{Cache, Evicted, FillKind, ProbeHit};
+pub use classify::{MissClassifier, MissKind};
 pub use dram::MainMemory;
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, PrefetchIssue};
 pub use mshr::MshrFile;

@@ -6,13 +6,13 @@
 //! benches share these definitions so the paper index in DESIGN.md has a
 //! single source of truth. Grid cells are independent pure functions of
 //! `(config, workload, seed)`, so [`run_grid`] fans them out across threads
-//! with a simple work queue (crossbeam scope + parking_lot mutexes — no
+//! with a simple work queue (`std::thread::scope` + `std::sync::Mutex` — no
 //! shared mutable simulator state).
 
 use crate::report::SimReport;
 use crate::simulator::Simulator;
-use parking_lot::Mutex;
 use ppf_types::{FilterKind, PrefetchConfig, SystemConfig};
+use std::sync::Mutex;
 use ppf_workloads::Workload;
 
 /// Default per-run instruction budget for full experiments. The paper runs
@@ -125,19 +125,19 @@ pub fn run_grid(specs: Vec<RunSpec>) -> Vec<SimReport> {
     }
     let queue: Mutex<Vec<(usize, RunSpec)>> = Mutex::new(specs.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<SimReport>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
                 let Some((idx, spec)) = job else { break };
                 let report = spec.run();
-                results.lock()[idx] = Some(report);
+                results.lock().expect("results poisoned")[idx] = Some(report);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
+        .expect("results poisoned")
         .into_iter()
         .map(|r| r.expect("every cell ran"))
         .collect()
@@ -155,6 +155,15 @@ pub fn table2(n: u64) -> Vec<RunSpec> {
     let mut cfg = SystemConfig::paper_default();
     cfg.prefetch = PrefetchConfig::disabled();
     all_workloads("prefetch-off", cfg, n)
+}
+
+/// `figures calibrate`: Table 2's prefetch-off grid with shadow-tag miss
+/// classification enabled, for the per-workload drift report against the
+/// paper's measurements.
+pub fn calibration(n: u64) -> Vec<RunSpec> {
+    let mut cfg = SystemConfig::paper_default().with_miss_classification();
+    cfg.prefetch = PrefetchConfig::disabled();
+    all_workloads("calibrate", cfg, n)
 }
 
 /// Figures 1 & 2: good/bad prefetch split and L1 traffic split on the
@@ -438,6 +447,7 @@ mod tests {
     #[test]
     fn grids_have_expected_shapes() {
         assert_eq!(table2(N).len(), 10);
+        assert_eq!(calibration(N).len(), 10);
         assert_eq!(fig1_2(N).len(), 10);
         assert_eq!(fig4_5_6(N).len(), 30);
         assert_eq!(fig7_8_9(N).len(), 30);

@@ -8,7 +8,7 @@
 //! * [`simulator::Simulator`] — one machine instance; `run(n)` executes `n`
 //!   instructions and produces a [`report::SimReport`].
 //! * [`experiments`] — named experiment grids for every figure/table of the
-//!   paper, and a crossbeam-parallel sweep runner (each grid cell is an
+//!   paper, and a thread-parallel sweep runner (each grid cell is an
 //!   independent pure function of its config and seed).
 //! * [`report`] — the run report plus text-table helpers shared by the
 //!   `figures` binary and the benches.

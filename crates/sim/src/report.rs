@@ -2,10 +2,9 @@
 //! the benches, and the integration tests.
 
 use ppf_types::SimStats;
-use serde::{Deserialize, Serialize};
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Experiment label ("no-filter", "PA", "PC@8KB", ...).
     pub label: String,
@@ -16,6 +15,13 @@ pub struct SimReport {
     /// All counters.
     pub stats: SimStats,
 }
+
+ppf_types::json_struct!(SimReport {
+    label,
+    workload,
+    seed,
+    stats,
+});
 
 impl SimReport {
     /// Instructions per cycle.
@@ -58,6 +64,27 @@ impl SimReport {
             "  contention: {} demand port retries, {} bus-busy cycles, {} mispredicts",
             s.demand_port_retries, s.bus_busy_cycles, s.branch_mispredicts
         );
+        // Present only when the run classified misses (DiagnosticsConfig).
+        if s.l1.miss_class.total() > 0 || s.l2.miss_class.total() > 0 {
+            let l1 = &s.l1.miss_class;
+            let l2 = &s.l2.miss_class;
+            let _ = writeln!(
+                out,
+                "  miss classes (compulsory/capacity/conflict): L1 {}/{}/{}, L2 {}/{}/{}",
+                l1.compulsory, l1.capacity, l1.conflict, l2.compulsory, l2.capacity, l2.conflict
+            );
+        }
+        out
+    }
+
+    /// The prefetch funnel as a rendered text block: one line per stage in
+    /// flow order, for the diagnostics the `figures calibrate` subcommand
+    /// and the examples print.
+    pub fn funnel_block(&self) -> String {
+        let mut out = String::new();
+        for (stage, count) in self.stats.funnel_stages() {
+            let _ = writeln!(out, "  {stage:<18} {count}");
+        }
         out
     }
 }

@@ -93,6 +93,20 @@ impl MemSystem {
         &self.filter
     }
 
+    /// Prefetches sitting in the queue right now — the funnel's in-flight
+    /// residue, needed to balance the conservation invariant mid-run.
+    pub fn queue_backlog(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Check the prefetch-funnel conservation invariant against the current
+    /// queue backlog: every proposed candidate is accounted for exactly once
+    /// (duplicate-squashed, filter-rejected, overflow-dropped, issued, or
+    /// still queued).
+    pub fn check_funnel(&self) -> Result<(), String> {
+        self.stats.check_funnel_conservation(self.queue_backlog())
+    }
+
     /// Mutable view of the pollution filter (to enable tracing).
     pub fn filter_mut(&mut self) -> &mut PollutionFilter {
         &mut self.filter
@@ -154,6 +168,11 @@ impl MemSystem {
                 continue;
             }
             self.stats.prefetches_issued.bump(req.source);
+            // The line allocated in the L1 (or the dedicated buffer): the
+            // funnel's "filled" stage. Issued-but-resident targets were
+            // squashed above, so issued == filled in this machine — the
+            // diagnostics make that equality checkable instead of assumed.
+            self.stats.prefetches_filled.bump(req.source);
             if let Some(ev) = issue.l1_evicted {
                 self.feedback_eviction(&ev);
             }
@@ -162,6 +181,12 @@ impl MemSystem {
                 self.filter.on_eviction(&bev.origin, bev.referenced);
             }
         }
+    }
+
+    /// Drop every pending queued prefetch (used at the warm-up/measurement
+    /// boundary so the funnel counters start balanced).
+    pub fn flush_prefetch_queue(&mut self) {
+        self.queue.clear();
     }
 
     /// End-of-run census: classify lines still resident in the L1 and the
@@ -328,6 +353,10 @@ impl Simulator {
         }
         self.core_stats = SimStats::default();
         self.mem.stats = SimStats::default();
+        // Requests enqueued before the reset would otherwise surface as
+        // issued-but-never-proposed and break funnel conservation; warm-up
+        // ends with an empty queue so measurement starts balanced.
+        self.mem.flush_prefetch_queue();
         self.cycle_base = self.now;
     }
 
@@ -389,6 +418,14 @@ impl Simulator {
             );
         }
         self.mem.drain_final();
+        // Funnel conservation: every proposed prefetch must be accounted
+        // for. Debug builds (and the opt-level=2 test profile) pay the
+        // check; release sweeps do not.
+        if cfg!(debug_assertions) {
+            if let Err(e) = self.mem.check_funnel() {
+                panic!("{e}");
+            }
+        }
         // Core and memory stats touch disjoint counters; merging adds the
         // memory side into the core-side snapshot.
         let mut stats = self.core_stats.clone();
@@ -505,6 +542,39 @@ mod tests {
             r.stats.buffer_hits > 0 || r.stats.buffer_bad_evictions > 0,
             "buffer must see traffic"
         );
+    }
+
+    #[test]
+    fn funnel_conserves_every_candidate() {
+        for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
+            let mut sim = Simulator::with_seed(
+                SystemConfig::paper_default().with_filter(kind),
+                Box::new(Workload::Mcf.stream(42)),
+                42,
+            )
+            .unwrap();
+            sim.warmup(30_000);
+            sim.run(N);
+            sim.mem_system().check_funnel().expect("funnel conserved");
+        }
+    }
+
+    #[test]
+    fn miss_classification_totals_match_misses() {
+        let cfg = SystemConfig::paper_default().with_miss_classification();
+        let r = run(cfg, Workload::Mcf);
+        assert_eq!(r.stats.l1.miss_class.total(), r.stats.l1.demand_misses);
+        assert_eq!(r.stats.l2.miss_class.total(), r.stats.l2.demand_misses);
+        assert!(
+            r.stats.l1.miss_class.conflict > 0,
+            "the paper's direct-mapped L1 must show conflict misses: {:?}",
+            r.stats.l1.miss_class
+        );
+        // Classification must not change what the machine does: counters
+        // other than the class split match a diagnostics-off run.
+        let base = run(SystemConfig::paper_default(), Workload::Mcf);
+        assert_eq!(base.stats.l1.demand_misses, r.stats.l1.demand_misses);
+        assert_eq!(base.stats.cycles, r.stats.cycles);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! it a distinct type prevents the classic off-by-a-shift bug of mixing byte
 //! addresses and line numbers.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A byte address in the simulated (flat, 64-bit) address space.
 pub type Addr = u64;
@@ -28,8 +28,20 @@ pub const INST_BYTES: u64 = 4;
 /// [`LineAddr::base_addr`]. The paper's *PA-based* filter indexes its history
 /// table with exactly this value ("address with cache line offset bit
 /// stripped", §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LineAddr(pub u64);
+
+impl ToJson for LineAddr {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.0)
+    }
+}
+
+impl FromJson for LineAddr {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        u64::from_json(v).map(LineAddr)
+    }
+}
 
 impl LineAddr {
     /// The line containing byte address `addr` for `line_bytes`-byte lines.

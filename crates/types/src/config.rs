@@ -9,11 +9,11 @@
 //! The named constructors (`with_l1_32k`, `with_l1_ports`, ...) produce the
 //! exact variant machines evaluated in §5.2.2–§5.5.
 
-use serde::{Deserialize, Serialize};
+use crate::{json_struct, json_unit_enum};
 
 /// Branch-prediction front-end parameters (Table 1: bimodal 2048 entries,
 /// BTB 4-way × 4096 sets).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchConfig {
     /// Entries in the bimodal 2-bit-counter table. Power of two.
     pub bimodal_entries: usize,
@@ -38,7 +38,7 @@ impl Default for BranchConfig {
 }
 
 /// Out-of-order core parameters (Table 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions fetched/dispatched per cycle.
     pub fetch_width: usize,
@@ -80,7 +80,7 @@ impl Default for CoreConfig {
 }
 
 /// One cache level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -129,7 +129,7 @@ impl CacheConfig {
 }
 
 /// Main-memory and bus parameters (Table 1: 150 cycles, 64-byte bus).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemConfig {
     /// Leadoff latency in core cycles.
     pub latency: u64,
@@ -160,7 +160,7 @@ impl Default for MemConfig {
 }
 
 /// Which prefetch generators are active.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrefetchConfig {
     /// Next-sequence (tagged next-line) hardware prefetcher.
     pub nsp: bool,
@@ -217,7 +217,7 @@ impl PrefetchConfig {
 }
 
 /// Pollution-filter indexing scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FilterKind {
     /// No filtering: every prefetch is issued (the paper's baseline).
     None,
@@ -246,7 +246,7 @@ impl FilterKind {
 /// Initial state of the history table's counters — §5.3's "all prefetches
 /// first mapped to the history table are assumed to be good and issued" is
 /// the `WeaklyGood` choice; the alternatives quantify it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterInit {
     /// Counters start just above the threshold (the paper's choice):
     /// unseen prefetches are issued, and one bad outcome flips the entry.
@@ -260,7 +260,7 @@ pub enum CounterInit {
 }
 
 /// Pollution-filter configuration (Table 1: 4K-entry, 1KB history table).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterConfig {
     /// Indexing scheme.
     pub kind: FilterKind,
@@ -306,7 +306,7 @@ impl Default for FilterConfig {
 
 /// Victim cache between L1 and L2 (Jouppi) — ablation hardware for the
 /// direct-mapped L1's conflict misses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VictimConfig {
     /// When true, L1 evictions pass through a small victim cache.
     pub enabled: bool,
@@ -324,7 +324,7 @@ impl Default for VictimConfig {
 }
 
 /// Dedicated fully-associative prefetch buffer (§5.5; Chen et al.).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferConfig {
     /// When true, prefetches fill the buffer instead of the L1.
     pub enabled: bool,
@@ -341,9 +341,21 @@ impl Default for BufferConfig {
     }
 }
 
+/// Diagnostics passes — simulator-side instrumentation with no effect on
+/// timing or on any architectural counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiagnosticsConfig {
+    /// Classify every L1/L2 demand miss as compulsory/capacity/conflict by
+    /// running shadow infinite-tag and fully-associative-tag directories
+    /// alongside the real caches. Costs memory and time proportional to the
+    /// touched-line count, so it is off by default and enabled by the
+    /// calibration tooling (`figures calibrate`).
+    pub classify_misses: bool,
+}
+
 /// Complete machine description — Table 1 of the paper plus the filter and
 /// prefetch-buffer options.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Core pipeline parameters.
     pub core: CoreConfig,
@@ -364,6 +376,8 @@ pub struct SystemConfig {
     pub buffer: BufferConfig,
     /// Optional victim cache (ablation).
     pub victim: VictimConfig,
+    /// Diagnostics instrumentation (miss classification).
+    pub diag: DiagnosticsConfig,
 }
 
 impl Default for SystemConfig {
@@ -404,7 +418,14 @@ impl SystemConfig {
             filter: FilterConfig::default(),
             buffer: BufferConfig::default(),
             victim: VictimConfig::default(),
+            diag: DiagnosticsConfig::default(),
         }
+    }
+
+    /// Enable the compulsory/capacity/conflict miss-classification pass.
+    pub fn with_miss_classification(mut self) -> Self {
+        self.diag.classify_misses = true;
+        self
     }
 
     /// §5.2.2: 32KB L1 variant. The larger array is slower — 4-cycle hits.
@@ -500,6 +521,90 @@ impl SystemConfig {
         Ok(())
     }
 }
+
+json_struct!(BranchConfig {
+    bimodal_entries,
+    btb_sets,
+    btb_ways,
+    mispredict_penalty,
+});
+
+json_struct!(CoreConfig {
+    fetch_width,
+    issue_width,
+    retire_width,
+    rob_entries,
+    lsq_entries,
+    int_alus,
+    fp_alus,
+    int_latency,
+    fp_latency,
+    branch,
+});
+
+json_struct!(CacheConfig {
+    size_bytes,
+    line_bytes,
+    ways,
+    hit_latency,
+    ports,
+});
+
+json_struct!(MemConfig {
+    latency,
+    bus_bytes,
+    bus_cycle,
+    banks,
+    bank_busy,
+});
+
+json_struct!(PrefetchConfig {
+    nsp,
+    nsp_degree,
+    sdp,
+    stride,
+    correlation,
+    software,
+    queue_len,
+});
+
+json_unit_enum!(FilterKind { None, Pa, Pc, Hybrid });
+
+json_unit_enum!(CounterInit {
+    WeaklyGood,
+    StronglyGood,
+    WeaklyBad,
+});
+
+json_struct!(FilterConfig {
+    kind,
+    table_entries,
+    counter_bits,
+    counter_init,
+    adaptive_accuracy_threshold,
+    adaptive_window,
+    recovery_window,
+    split_by_source,
+});
+
+json_struct!(VictimConfig { enabled, entries });
+
+json_struct!(BufferConfig { enabled, entries });
+
+json_struct!(DiagnosticsConfig { classify_misses });
+
+json_struct!(SystemConfig {
+    core,
+    l1,
+    l1i,
+    l2,
+    mem,
+    prefetch,
+    filter,
+    buffer,
+    victim,
+    diag,
+});
 
 #[cfg(test)]
 mod tests {
@@ -611,12 +716,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{FromJson, ToJson};
         let c = SystemConfig::paper_default()
             .with_l1_32k()
-            .with_filter(FilterKind::Pa);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+            .with_filter(FilterKind::Pa)
+            .with_miss_classification();
+        let json = c.to_json_string();
+        let back = SystemConfig::from_json_str(&json).unwrap();
         assert_eq!(back, c);
+        // Pretty output parses to the same config.
+        let back2 = SystemConfig::from_json_str(&c.to_json_pretty()).unwrap();
+        assert_eq!(back2, c);
+    }
+
+    #[test]
+    fn diagnostics_default_off() {
+        let c = SystemConfig::paper_default();
+        assert!(!c.diag.classify_misses);
+        assert!(c.with_miss_classification().diag.classify_misses);
     }
 }

@@ -6,22 +6,25 @@
 //! small deterministic RNG ([`rng`]) so that simulation results are a pure
 //! function of `(config, workload, seed)`.
 //!
-//! It deliberately has no dependency on the rest of the workspace and only a
-//! `serde` dependency for config/report serialization.
+//! It deliberately has no dependency on the rest of the workspace and no
+//! external dependencies at all: config/report serialization uses the
+//! in-repo [`json`] module (the build environment has no crates.io mirror).
 
 #![warn(missing_docs)]
 
 pub mod addr;
 pub mod config;
+pub mod json;
 pub mod prefetch;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, Cycle, LineAddr, Pc};
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use config::{
-    BranchConfig, BufferConfig, CacheConfig, CoreConfig, CounterInit, FilterConfig, FilterKind,
-    MemConfig, PrefetchConfig, SystemConfig, VictimConfig,
+    BranchConfig, BufferConfig, CacheConfig, CoreConfig, CounterInit, DiagnosticsConfig,
+    FilterConfig, FilterKind, MemConfig, PrefetchConfig, SystemConfig, VictimConfig,
 };
 pub use prefetch::{PrefetchOrigin, PrefetchRequest, PrefetchSource};
 pub use rng::SplitMix64;
-pub use stats::SimStats;
+pub use stats::{CacheStats, MissClass, PerSource, SimStats};

@@ -9,10 +9,10 @@
 //! "separate data path" for the PC that §4.2 of the paper describes.
 
 use crate::addr::{LineAddr, Pc};
-use serde::{Deserialize, Serialize};
+use crate::json_unit_enum;
 
 /// Which generator produced a prefetch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrefetchSource {
     /// Next-Sequence Prefetching: tagged next-line prefetch (Smith, 1982).
     Nsp,
@@ -58,6 +58,8 @@ impl PrefetchSource {
         }
     }
 }
+
+json_unit_enum!(PrefetchSource { Nsp, Sdp, Stride, Software });
 
 /// A candidate prefetch emitted by a generator, before filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

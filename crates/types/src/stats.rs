@@ -6,11 +6,11 @@
 //! (IPC, miss rates, the paper's good/bad prefetch census) are computed on
 //! demand by accessor methods so the raw counters stay unambiguous.
 
+use crate::json_struct;
 use crate::prefetch::PrefetchSource;
-use serde::{Deserialize, Serialize};
 
 /// Per-prefetch-source counters, indexed by [`PrefetchSource::index`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerSource {
     /// Counter array, one slot per [`PrefetchSource`].
     pub by_source: [u64; PrefetchSource::COUNT],
@@ -43,8 +43,76 @@ impl PerSource {
     }
 }
 
+json_struct!(PerSource { by_source });
+
+/// Demand misses of one cache level split by cause — the classic "three Cs"
+/// taxonomy (Hill). Populated only when
+/// [`DiagnosticsConfig::classify_misses`](crate::config::DiagnosticsConfig)
+/// is on; all-zero otherwise.
+///
+/// * **compulsory** — the line was never referenced before (an infinite
+///   cache would still miss).
+/// * **capacity** — a fully-associative cache of the same capacity would
+///   also miss (the working set simply does not fit).
+/// * **conflict** — only the real set-indexed cache misses (set conflicts
+///   under limited associativity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissClass {
+    /// First-ever reference to the line (cold miss).
+    pub compulsory: u64,
+    /// Miss that a fully-associative same-size cache would share.
+    pub capacity: u64,
+    /// Miss caused purely by set conflicts.
+    pub conflict: u64,
+}
+
+impl MissClass {
+    /// Total classified misses.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Fraction of classified misses that are compulsory; 0 when empty.
+    pub fn compulsory_frac(&self) -> f64 {
+        self.frac(self.compulsory)
+    }
+
+    /// Fraction of classified misses that are capacity; 0 when empty.
+    pub fn capacity_frac(&self) -> f64 {
+        self.frac(self.capacity)
+    }
+
+    /// Fraction of classified misses that are conflict; 0 when empty.
+    pub fn conflict_frac(&self) -> f64 {
+        self.frac(self.conflict)
+    }
+
+    fn frac(&self, part: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            part as f64 / total as f64
+        }
+    }
+
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, o: &MissClass) {
+        self.compulsory += o.compulsory;
+        self.capacity += o.capacity;
+        self.conflict += o.conflict;
+    }
+}
+
+json_struct!(MissClass {
+    compulsory,
+    capacity,
+    conflict,
+});
+
 /// Counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand (load/store) accesses.
     pub demand_accesses: u64,
@@ -61,6 +129,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Evictions of dirty lines (writebacks).
     pub writebacks: u64,
+    /// Demand misses split compulsory/capacity/conflict (diagnostics pass;
+    /// all-zero unless miss classification is enabled in the config).
+    pub miss_class: MissClass,
 }
 
 impl CacheStats {
@@ -82,11 +153,23 @@ impl CacheStats {
         self.prefetch_first_use += o.prefetch_first_use;
         self.evictions += o.evictions;
         self.writebacks += o.writebacks;
+        self.miss_class.merge(&o.miss_class);
     }
 }
 
+json_struct!(CacheStats {
+    demand_accesses,
+    demand_hits,
+    demand_misses,
+    prefetch_fills,
+    prefetch_first_use,
+    evictions,
+    writebacks,
+    miss_class,
+});
+
 /// All counters for one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Retired instructions.
     pub instructions: u64,
@@ -119,6 +202,10 @@ pub struct SimStats {
     pub prefetches_queue_overflow: PerSource,
     /// Prefetches actually issued to the L1 (or prefetch buffer).
     pub prefetches_issued: PerSource,
+    /// Issued prefetches whose line actually filled the L1 (or the
+    /// dedicated prefetch buffer). Issued-but-not-filled prefetches found
+    /// their line already resident by fill time.
+    pub prefetches_filled: PerSource,
 
     /// Good prefetches: prefetched lines referenced before eviction
     /// (RIB = 1 at replacement, or referenced lines drained at end of run).
@@ -207,6 +294,55 @@ impl SimStats {
             + self.prefetches_queue_overflow.total()
     }
 
+    /// The prefetch-funnel conservation invariant: every generated candidate
+    /// is accounted for by exactly one downstream outcome —
+    ///
+    /// ```text
+    /// proposed = duplicate-squashed + filter-rejected + overflow-dropped
+    ///          + port-issued + still-queued
+    /// ```
+    ///
+    /// `queue_backlog` is the number of candidates sitting in the prefetch
+    /// queue at the moment of the check (0 after a final drain). Returns
+    /// `Ok(())` or a description of the imbalance.
+    pub fn check_funnel_conservation(&self, queue_backlog: u64) -> Result<(), String> {
+        let proposed = self.prefetches_proposed.total();
+        let accounted = self.prefetches_duplicate.total()
+            + self.prefetches_filtered.total()
+            + self.prefetches_queue_overflow.total()
+            + self.prefetches_issued.total()
+            + queue_backlog;
+        if proposed == accounted {
+            Ok(())
+        } else {
+            Err(format!(
+                "prefetch funnel leak: proposed {} != accounted {} \
+                 (duplicate {} + filtered {} + overflow {} + issued {} + queued {})",
+                proposed,
+                accounted,
+                self.prefetches_duplicate.total(),
+                self.prefetches_filtered.total(),
+                self.prefetches_queue_overflow.total(),
+                self.prefetches_issued.total(),
+                queue_backlog,
+            ))
+        }
+    }
+
+    /// Funnel stage counts in flow order, for reports: `(stage name, count)`.
+    pub fn funnel_stages(&self) -> [(&'static str, u64); 8] {
+        [
+            ("proposed", self.prefetches_proposed.total()),
+            ("duplicate-squashed", self.prefetches_duplicate.total()),
+            ("filter-rejected", self.prefetches_filtered.total()),
+            ("overflow-dropped", self.prefetches_queue_overflow.total()),
+            ("issued", self.prefetches_issued.total()),
+            ("filled", self.prefetches_filled.total()),
+            ("referenced", self.good_total()),
+            ("polluted", self.bad_total()),
+        ]
+    }
+
     /// Element-wise accumulate (used when aggregating sweep shards).
     pub fn merge(&mut self, o: &SimStats) {
         self.instructions += o.instructions;
@@ -224,6 +360,7 @@ impl SimStats {
         self.prefetches_queue_overflow
             .merge(&o.prefetches_queue_overflow);
         self.prefetches_issued.merge(&o.prefetches_issued);
+        self.prefetches_filled.merge(&o.prefetches_filled);
         self.prefetch_good.merge(&o.prefetch_good);
         self.prefetch_bad.merge(&o.prefetch_bad);
         self.l1_port_conflict_cycles += o.l1_port_conflict_cycles;
@@ -235,6 +372,33 @@ impl SimStats {
         self.buffer_bad_evictions += o.buffer_bad_evictions;
     }
 }
+
+json_struct!(SimStats {
+    instructions,
+    cycles,
+    loads,
+    stores,
+    branches,
+    branch_mispredicts,
+    l1,
+    l1i,
+    l2,
+    prefetches_proposed,
+    prefetches_duplicate,
+    prefetches_filtered,
+    prefetches_queue_overflow,
+    prefetches_issued,
+    prefetches_filled,
+    prefetch_good,
+    prefetch_bad,
+    l1_port_conflict_cycles,
+    demand_port_retries,
+    prefetch_port_retries,
+    bus_bytes,
+    bus_busy_cycles,
+    buffer_hits,
+    buffer_bad_evictions,
+});
 
 #[cfg(test)]
 mod tests {
@@ -336,5 +500,74 @@ mod tests {
             s.prefetches_issued.bump(PrefetchSource::Nsp);
         }
         assert!((s.prefetch_traffic_ratio() - 0.41).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_class_fractions_and_merge() {
+        let mut m = MissClass {
+            compulsory: 1,
+            capacity: 2,
+            conflict: 1,
+        };
+        assert_eq!(m.total(), 4);
+        assert!((m.compulsory_frac() - 0.25).abs() < 1e-12);
+        assert!((m.capacity_frac() - 0.5).abs() < 1e-12);
+        assert!((m.conflict_frac() - 0.25).abs() < 1e-12);
+        m.merge(&MissClass {
+            compulsory: 3,
+            capacity: 0,
+            conflict: 1,
+        });
+        assert_eq!(m.compulsory, 4);
+        assert_eq!(m.conflict, 2);
+        assert_eq!(MissClass::default().compulsory_frac(), 0.0);
+    }
+
+    #[test]
+    fn funnel_conservation_detects_leaks() {
+        let mut s = SimStats::default();
+        for _ in 0..10 {
+            s.prefetches_proposed.bump(PrefetchSource::Nsp);
+        }
+        for _ in 0..3 {
+            s.prefetches_duplicate.bump(PrefetchSource::Nsp);
+        }
+        for _ in 0..2 {
+            s.prefetches_filtered.bump(PrefetchSource::Nsp);
+        }
+        for _ in 0..4 {
+            s.prefetches_issued.bump(PrefetchSource::Nsp);
+        }
+        // 3 + 2 + 0 + 4 = 9 accounted, 1 still queued: balanced.
+        assert!(s.check_funnel_conservation(1).is_ok());
+        // Wrong backlog: leak reported with the stage breakdown.
+        let err = s.check_funnel_conservation(0).unwrap_err();
+        assert!(err.contains("proposed 10"), "{err}");
+    }
+
+    #[test]
+    fn funnel_stages_are_in_flow_order() {
+        let mut s = SimStats::default();
+        s.prefetches_proposed.bump(PrefetchSource::Sdp);
+        s.prefetches_filled.bump(PrefetchSource::Sdp);
+        let stages = s.funnel_stages();
+        assert_eq!(stages[0], ("proposed", 1));
+        assert_eq!(stages[5], ("filled", 1));
+        assert_eq!(stages.len(), 8);
+    }
+
+    #[test]
+    fn stats_json_round_trip() {
+        use crate::json::{FromJson, ToJson};
+        let mut s = SimStats {
+            instructions: 1_000,
+            cycles: 2_000,
+            ..Default::default()
+        };
+        s.l1.demand_accesses = 500;
+        s.l1.miss_class.conflict = 7;
+        s.prefetches_issued.bump(PrefetchSource::Stride);
+        let back = SimStats::from_json_str(&s.to_json_string()).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -1,7 +1,32 @@
 //! Property-based tests for the shared vocabulary types.
 
-use ppf_types::{LineAddr, SimStats, SplitMix64};
+use ppf_types::{LineAddr, PrefetchSource, SimStats, SplitMix64};
 use proptest::prelude::*;
+
+/// A stats block whose funnel counters are balanced by construction:
+/// `proposed` equals the sum of every downstream outcome plus `backlog`.
+/// The outcome counts are scattered across prefetch sources so the check's
+/// per-source totals are exercised, not just the grand total.
+fn balanced_funnel(dup: u64, filt: u64, over: u64, issued: u64, backlog: u64) -> SimStats {
+    let mut s = SimStats::default();
+    let n = PrefetchSource::COUNT;
+    for (i, (per, count)) in [
+        (&mut s.prefetches_duplicate, dup),
+        (&mut s.prefetches_filtered, filt),
+        (&mut s.prefetches_queue_overflow, over),
+        (&mut s.prefetches_issued, issued),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        per.by_source[i % n] = count;
+    }
+    let proposed = dup + filt + over + issued + backlog;
+    // Spread proposals over two sources to keep totals, not slots, balanced.
+    s.prefetches_proposed.by_source[0] = proposed / 2;
+    s.prefetches_proposed.by_source[1 % n] += proposed - proposed / 2;
+    s
+}
 
 proptest! {
     #[test]
@@ -72,6 +97,52 @@ proptest! {
         let mut ba = mk(b_insts, b_cycles);
         ba.merge(&mk(a_insts, a_cycles));
         prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn funnel_conservation_accepts_any_balanced_split(
+        dup in 0u64..100_000,
+        filt in 0u64..100_000,
+        over in 0u64..100_000,
+        issued in 0u64..100_000,
+        backlog in 0u64..64,
+    ) {
+        let s = balanced_funnel(dup, filt, over, issued, backlog);
+        prop_assert!(s.check_funnel_conservation(backlog).is_ok());
+    }
+
+    #[test]
+    fn funnel_conservation_rejects_any_leak(
+        dup in 0u64..100_000,
+        filt in 0u64..100_000,
+        over in 0u64..100_000,
+        issued in 0u64..100_000,
+        backlog in 0u64..64,
+        leak in 1u64..10_000,
+    ) {
+        // A candidate that was proposed but never reached any outcome —
+        // exactly the bug class the debug-build check exists to catch.
+        let mut s = balanced_funnel(dup, filt, over, issued, backlog);
+        s.prefetches_proposed.by_source[0] += leak;
+        let err = s.check_funnel_conservation(backlog).unwrap_err();
+        prop_assert!(err.contains("funnel leak"), "{}", err);
+        // And the dual: an outcome that was never proposed.
+        let mut s = balanced_funnel(dup, filt, over, issued, backlog);
+        s.prefetches_issued.by_source[0] += leak;
+        prop_assert!(s.check_funnel_conservation(backlog).is_err());
+    }
+
+    #[test]
+    fn funnel_conservation_survives_merge(
+        a in 0u64..50_000, b in 0u64..50_000, c in 0u64..50_000,
+        d in 0u64..50_000, back_a in 0u64..64, back_b in 0u64..64,
+    ) {
+        // Aggregating two balanced shards (as run_grid_seeds does) stays
+        // balanced when the backlogs are summed.
+        let mut x = balanced_funnel(a, b, c, d, back_a);
+        let y = balanced_funnel(d, c, b, a, back_b);
+        x.merge(&y);
+        prop_assert!(x.check_funnel_conservation(back_a + back_b).is_ok());
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! Compact binary traces of instruction streams.
 //!
 //! For debugging and for feeding external tools, a prefix of any workload
-//! stream can be serialized to a compact binary record format (16 bytes per
-//! instruction) using the `bytes` crate, and read back losslessly. The
+//! stream can be serialized to a compact binary record format (14 bytes per
+//! instruction) as a plain `Vec<u8>`, and read back losslessly. The
 //! simulator itself always regenerates streams from `(spec, seed)` — traces
 //! are a diagnostic artifact, not the source of truth.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ppf_cpu::{Inst, InstStream, Op};
 
 /// Record type tags.
@@ -17,13 +16,16 @@ const T_STORE: u8 = 3;
 const T_PREFETCH: u8 = 4;
 const T_BRANCH: u8 = 5;
 
+/// Bytes per encoded instruction record.
+const RECORD_LEN: usize = 14;
+
 /// Serialize the next `n` instructions of `stream` into a trace buffer.
 ///
 /// Record layout (little-endian): `tag u8, dep u8, pc_lo u32 (pc/4 truncated),
 /// payload u64` — where payload is the address for memory ops, or
 /// `(target << 1) | taken` for branches, 0 otherwise.
-pub fn record(stream: &mut dyn InstStream, n: usize) -> Bytes {
-    let mut buf = BytesMut::with_capacity(n * 14);
+pub fn record(stream: &mut dyn InstStream, n: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(n * RECORD_LEN);
     for _ in 0..n {
         let inst = stream.next_inst();
         let (tag, payload) = match inst.op {
@@ -34,22 +36,24 @@ pub fn record(stream: &mut dyn InstStream, n: usize) -> Bytes {
             Op::SoftPrefetch { addr } => (T_PREFETCH, addr),
             Op::Branch { taken, target } => (T_BRANCH, (target << 1) | taken as u64),
         };
-        buf.put_u8(tag);
-        buf.put_u8(inst.dep);
-        buf.put_u32_le((inst.pc / 4) as u32);
-        buf.put_u64_le(payload);
+        buf.push(tag);
+        buf.push(inst.dep);
+        buf.extend_from_slice(&((inst.pc / 4) as u32).to_le_bytes());
+        buf.extend_from_slice(&payload.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
-/// Deserialize a trace produced by [`record`].
-pub fn replay(mut trace: Bytes) -> Vec<Inst> {
-    let mut out = Vec::with_capacity(trace.len() / 14);
-    while trace.remaining() >= 14 {
-        let tag = trace.get_u8();
-        let dep = trace.get_u8();
-        let pc = trace.get_u32_le() as u64 * 4;
-        let payload = trace.get_u64_le();
+/// Deserialize a trace produced by [`record`]. A trailing partial record
+/// (fewer than 14 bytes) is ignored, matching a truncated file.
+pub fn replay(trace: impl AsRef<[u8]>) -> Vec<Inst> {
+    let trace = trace.as_ref();
+    let mut out = Vec::with_capacity(trace.len() / RECORD_LEN);
+    for rec in trace.chunks_exact(RECORD_LEN) {
+        let tag = rec[0];
+        let dep = rec[1];
+        let pc = u32::from_le_bytes(rec[2..6].try_into().unwrap()) as u64 * 4;
+        let payload = u64::from_le_bytes(rec[6..14].try_into().unwrap());
         let op = match tag {
             T_INT => Op::IntAlu,
             T_FP => Op::FpAlu,
@@ -68,13 +72,13 @@ pub fn replay(mut trace: Bytes) -> Vec<Inst> {
 }
 
 /// Write a binary trace to a file.
-pub fn save(trace: &Bytes, path: &std::path::Path) -> std::io::Result<()> {
+pub fn save(trace: &[u8], path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, trace)
 }
 
 /// Read a binary trace from a file.
-pub fn load(path: &std::path::Path) -> std::io::Result<Bytes> {
-    Ok(Bytes::from(std::fs::read(path)?))
+pub fn load(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
 }
 
 /// A replayable in-memory trace usable as an [`InstStream`] (loops at the
@@ -92,7 +96,7 @@ impl TraceStream {
     }
 
     /// Decode and wrap a binary trace.
-    pub fn from_bytes(trace: Bytes) -> Self {
+    pub fn from_bytes(trace: impl AsRef<[u8]>) -> Self {
         TraceStream::new(replay(trace))
     }
 
@@ -191,6 +195,14 @@ mod tests {
                 target: 0xa000
             }
         );
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_ignored() {
+        let mut s = Workload::Mcf.stream(3);
+        let mut trace = record(&mut s, 5);
+        trace.truncate(trace.len() - 3); // chop mid-record
+        assert_eq!(replay(trace).len(), 4);
     }
 
     #[test]

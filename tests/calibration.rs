@@ -3,28 +3,21 @@
 //! validity test for the whole synthetic-workload substitution — if it
 //! drifts, every downstream figure drifts with it.
 
-use ppf::sim::Simulator;
-use ppf::types::{PrefetchConfig, SystemConfig};
+use ppf::sim::{experiments, run_grid};
 use ppf::workloads::Workload;
 use std::sync::OnceLock;
 
-/// Measured rates for one benchmark, prefetch off, after warm-up. The
-/// warm-up budget matches the experiment harness (larger footprints need
-/// ~500k instructions before their compulsory L2 misses drain). Memoized:
-/// three tests share the measurements.
+/// Measured rates for one benchmark, prefetch off, after warm-up. Routed
+/// through the same [`experiments::calibration`] grid (RunSpec seeding,
+/// warm-up scaling, parallel `run_grid`) that `figures calibrate` uses, so
+/// the test and the diagnostic subcommand can never disagree about
+/// methodology. Memoized: three tests share the measurements.
 fn measure(w: Workload) -> (f64, f64) {
     static CACHE: OnceLock<Vec<(f64, f64)>> = OnceLock::new();
     let all = CACHE.get_or_init(|| {
-        Workload::ALL
-            .iter()
-            .map(|&w| {
-                let mut cfg = SystemConfig::paper_default();
-                cfg.prefetch = PrefetchConfig::disabled();
-                let mut sim = Simulator::new(cfg, w.stream(42)).expect("valid config");
-                sim.warmup(600_000);
-                let r = sim.run(1_000_000);
-                (r.stats.l1.miss_rate(), r.stats.l2.miss_rate())
-            })
+        run_grid(experiments::calibration(1_000_000))
+            .into_iter()
+            .map(|r| (r.stats.l1.miss_rate(), r.stats.l2.miss_rate()))
             .collect()
     });
     let idx = Workload::ALL.iter().position(|&x| x == w).expect("known");

@@ -65,11 +65,12 @@ fn variant_machines_are_deterministic_too() {
 }
 
 #[test]
-fn report_serde_round_trip() {
+fn report_json_round_trip() {
+    use ppf::types::{FromJson, ToJson};
     let report = RunSpec::new("label", SystemConfig::paper_default(), Workload::Bh)
         .instructions(N)
         .run();
-    let json = serde_json::to_string(&report).unwrap();
-    let back: ppf::sim::SimReport = serde_json::from_str(&json).unwrap();
+    let json = report.to_json_string();
+    let back = ppf::sim::SimReport::from_json_str(&json).unwrap();
     assert_eq!(back, report);
 }

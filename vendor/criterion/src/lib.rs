@@ -1,0 +1,127 @@
+//! A tiny, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's `cargo bench` targets
+//! compiling and producing useful wall-clock numbers: each benchmark runs a
+//! short warmup followed by `sample_size` timed samples and prints the mean,
+//! minimum, and maximum sample time. No statistics engine, no plots.
+
+use std::time::{Duration, Instant};
+
+/// Passed to the closure given to [`Criterion::bench_function`]; its
+/// [`iter`](Bencher::iter) method times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` once per sample and record each sample's duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call so lazy setup (allocations, table fills)
+        // does not pollute the first sample.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver. Only `sample_size` is configurable.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark and print a summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name}: no samples recorded");
+            return self;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().unwrap();
+        let max = b.samples.iter().max().unwrap();
+        println!(
+            "{name}: mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            mean,
+            min,
+            max,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Mirror of criterion's `criterion_group!`: defines a function running
+/// every target against a shared [`Criterion`] config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(3);
+        targets = bench_nothing,
+    }
+
+    #[test]
+    fn group_runs() {
+        smoke();
+    }
+}
