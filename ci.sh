@@ -8,3 +8,8 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Fault-injection drills again in release mode: panic unwinding, the
+# watchdog and checkpoint resume must also hold under optimized codegen.
+cargo test --release -q --test fault_tolerance
+cargo test --release -q -p ppf-bench --test checkpoint

@@ -1,0 +1,171 @@
+//! Checkpoint/resume for long figure sweeps.
+//!
+//! Every completed cell's [`SimReport`] is written to
+//! `<dir>/<key>.json`, where `<key>` is an FNV-1a content hash of the
+//! cell's full identity — label, config JSON, workload, seed and
+//! instruction budgets. On restart the runner reloads every cell whose
+//! file exists and parses, and re-runs only the missing, corrupt or
+//! previously failed ones (failures are deliberately never checkpointed:
+//! a resume is exactly the retry the operator asked for). A config change
+//! produces different keys, so stale results can never leak into a new
+//! sweep.
+//!
+//! Writes stream from the worker threads as cells finish (write to a
+//! `.tmp` sibling, then rename), so a crash mid-sweep loses at most the
+//! cells still in flight.
+
+use ppf_sim::experiments::{
+    fan_seeds, merge_seed_outcomes, run_grid_outcomes_observed, CellOutcome, RunSpec,
+};
+use ppf_sim::SimReport;
+use ppf_types::{FromJson, PpfError, ToJson};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit over `bytes`, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The checkpoint key of one cell: a content hash of (label, config JSON,
+/// workload, seed, instruction and warm-up budgets). Any change to any of
+/// these yields a different key, invalidating the old checkpoint entry.
+pub fn cell_key(spec: &RunSpec) -> String {
+    let mut h = FNV_OFFSET;
+    for part in [
+        spec.label.as_str(),
+        &spec.config.to_json_string(),
+        spec.workload.name(),
+        &spec.seed.to_string(),
+        &spec.n_instructions.to_string(),
+        &spec.warmup.to_string(),
+    ] {
+        h = fnv1a(h, part.as_bytes());
+        // Field separator so ("ab","c") and ("a","bc") cannot collide.
+        h = fnv1a(h, &[0]);
+    }
+    format!("{h:016x}")
+}
+
+/// Path of a cell's checkpoint file under `dir`.
+pub fn cell_path(dir: &Path, spec: &RunSpec) -> PathBuf {
+    dir.join(format!("{}.json", cell_key(spec)))
+}
+
+/// The result of one checkpointed grid execution.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// Per-cell outcomes, in input order (seed-merged for the seeds form).
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells reloaded from the checkpoint directory (not re-run).
+    pub loaded: usize,
+    /// Cells actually executed this invocation.
+    pub executed: usize,
+    /// Checkpoint files that existed but did not parse (counted as
+    /// missing and re-run).
+    pub corrupt: usize,
+    /// Non-fatal failures writing checkpoint files (the sweep's results
+    /// are still returned; only their persistence failed).
+    pub write_errors: Vec<PpfError>,
+}
+
+/// Load one cell's checkpoint entry, distinguishing "not there" (`Ok(None)`)
+/// from "there but unreadable" (`Err`, kind `checkpoint-corrupt`).
+fn load_cell(path: &Path) -> Result<Option<SimReport>, PpfError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(PpfError::io(e.to_string()).context(format!("reading {}", path.display())))
+        }
+    };
+    SimReport::from_json_str(&text)
+        .map(Some)
+        .map_err(|e| PpfError::checkpoint_corrupt(e).context(format!("parsing {}", path.display())))
+}
+
+/// Write one cell's report atomically (tmp + rename).
+fn store_cell(path: &Path, report: &SimReport) -> Result<(), PpfError> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, report.to_json_pretty())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {}", path.display())))
+}
+
+/// Run `specs` with per-cell checkpointing under `dir`: reload completed
+/// cells, execute the rest (streaming each completed cell to disk), and
+/// return outcomes in input order. Only directory creation fails hard;
+/// unreadable entries are re-run and unwritable ones are reported in
+/// [`CheckpointedRun::write_errors`].
+pub fn run_grid_checkpointed(specs: Vec<RunSpec>, dir: &Path) -> Result<CheckpointedRun, PpfError> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        PpfError::io(e.to_string()).context(format!("creating checkpoint dir {}", dir.display()))
+    })?;
+    let n = specs.len();
+    let mut outcomes: Vec<Option<CellOutcome>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<(usize, RunSpec)> = Vec::new();
+    let mut loaded = 0usize;
+    let mut corrupt = 0usize;
+    for (idx, spec) in specs.into_iter().enumerate() {
+        match load_cell(&cell_path(dir, &spec)) {
+            Ok(Some(report)) => {
+                loaded += 1;
+                outcomes[idx] = Some(CellOutcome::Ok(Box::new(report)));
+            }
+            Ok(None) => pending.push((idx, spec)),
+            Err(_) => {
+                corrupt += 1;
+                pending.push((idx, spec));
+            }
+        }
+    }
+    let executed = pending.len();
+    let write_errors: Mutex<Vec<PpfError>> = Mutex::new(Vec::new());
+    let (indices, to_run): (Vec<usize>, Vec<RunSpec>) = pending.into_iter().unzip();
+    let paths: Vec<PathBuf> = to_run.iter().map(|s| cell_path(dir, s)).collect();
+    let ran = run_grid_outcomes_observed(to_run, |i, outcome| {
+        if let CellOutcome::Ok(report) = outcome {
+            if let Err(e) = store_cell(&paths[i], report) {
+                write_errors
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(e);
+            }
+        }
+    });
+    for (slot, outcome) in indices.into_iter().zip(ran) {
+        outcomes[slot] = Some(outcome);
+    }
+    Ok(CheckpointedRun {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every cell loaded or ran"))
+            .collect(),
+        loaded,
+        executed,
+        corrupt,
+        write_errors: write_errors.into_inner().unwrap_or_default(),
+    })
+}
+
+/// The multi-seed form: checkpoints the full (cell × seed) fan-out (each
+/// fanned cell gets its own key), then merges outcomes per input cell
+/// exactly like `run_grid_seeds`.
+pub fn run_grid_seeds_checkpointed(
+    specs: Vec<RunSpec>,
+    seeds: u32,
+    dir: &Path,
+) -> Result<CheckpointedRun, PpfError> {
+    assert!(seeds >= 1);
+    let n = specs.len();
+    let fanned = fan_seeds(&specs, seeds);
+    let mut run = run_grid_checkpointed(fanned, dir)?;
+    run.outcomes = merge_seed_outcomes(run.outcomes, n, seeds);
+    Ok(run)
+}

@@ -10,11 +10,14 @@
 // read worse than the index.
 #![allow(clippy::needless_range_loop)]
 
-use ppf_sim::experiments::{self, PORT_COUNTS, TABLE_SIZES};
+use crate::checkpoint;
+use ppf_sim::experiments::{self, CellOutcome, PORT_COUNTS, TABLE_SIZES};
 use ppf_sim::report::{f3, geomean, mean, pct, TextTable};
 use ppf_sim::SimReport;
+use ppf_types::PpfError;
 use ppf_workloads::Workload;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// All experiment names accepted by [`run_experiment`].
 pub const EXPERIMENTS: [&str; 31] = [
@@ -51,6 +54,53 @@ pub const EXPERIMENTS: [&str; 31] = [
     "ablate-mix",
 ];
 
+/// Options for one experiment invocation beyond the instruction budget.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Workload seeds to average over (counters are summed per cell, so
+    /// rates become instruction-weighted averages). Minimum 1.
+    pub seeds: u32,
+    /// Dump raw reports of completed cells to `<json_dir>/<name>.json`.
+    pub json_dir: Option<String>,
+    /// Checkpoint/resume directory: completed cells are persisted under
+    /// `<dir>/<experiment>/` and reloaded on the next invocation.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            seeds: 1,
+            json_dir: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// The result of one experiment invocation.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Rendered table — the figure's table when every cell completed, or
+    /// a partial-results grid plus failure appendix otherwise.
+    pub body: String,
+    /// Grid cells attempted (after seed fan-out and merge: one per
+    /// label×workload cell).
+    pub total_cells: usize,
+    /// Cells that failed every attempt.
+    pub failed_cells: usize,
+    /// Raw (cell × seed) runs reloaded from the checkpoint directory.
+    pub loaded_cells: usize,
+    /// Raw (cell × seed) runs executed this invocation.
+    pub executed_cells: usize,
+}
+
+impl ExperimentOutput {
+    /// Did every cell complete?
+    pub fn is_complete(&self) -> bool {
+        self.failed_cells == 0
+    }
+}
+
 /// Run one named experiment; returns its rendered table. With `json_dir`
 /// set, raw reports are also dumped to `<json_dir>/<name>.json`.
 pub fn run_experiment(name: &str, insts: u64, json_dir: Option<&str>) -> Result<String, String> {
@@ -65,10 +115,41 @@ pub fn run_experiment_seeds(
     json_dir: Option<&str>,
     seeds: u32,
 ) -> Result<String, String> {
-    SEEDS.with(|s| s.set(seeds));
-    let (title, reports, body) = match name {
+    let opts = ExperimentOptions {
+        seeds,
+        json_dir: json_dir.map(str::to_string),
+        checkpoint: None,
+    };
+    run_experiment_full(name, insts, &opts)
+        .map(|out| out.body)
+        .map_err(|e| e.to_string())
+}
+
+/// The full-fat entry point: seeds, JSON dump, checkpoint/resume, and a
+/// structured [`ExperimentOutput`] whose cell counts the caller can turn
+/// into a partial-failure exit code.
+pub fn run_experiment_full(
+    name: &str,
+    insts: u64,
+    opts: &ExperimentOptions,
+) -> Result<ExperimentOutput, PpfError> {
+    CTX.with(|c| {
+        *c.borrow_mut() = RunContext {
+            seeds: opts.seeds.max(1),
+            checkpoint: opts.checkpoint.clone(),
+            counts: CellCounts::default(),
+        }
+    });
+    let dispatched: Result<(String, Vec<SimReport>, String), PpfError> = match name {
         "table1" => {
-            return Ok(table1());
+            // Static table: no grid, no cells, nothing to checkpoint.
+            return Ok(ExperimentOutput {
+                body: table1(),
+                total_cells: 0,
+                failed_cells: 0,
+                loaded_cells: 0,
+                executed_cells: 0,
+            });
         }
         "table2" => run_and(name, experiments::table2(insts), table2),
         "calibrate" => run_and(name, experiments::calibration(insts), calibrate),
@@ -140,33 +221,140 @@ pub fn run_experiment_seeds(
                 "Ablation: prefetcher mix (stride RPT, Markov correlation)",
             )
         }),
-        other => return Err(format!("unknown experiment '{other}'")),
+        other => Err(PpfError::config_invalid(format!(
+            "unknown experiment '{other}'"
+        ))),
     };
-    if let Some(dir) = json_dir {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let (title, reports, body) = dispatched?;
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| PpfError::io(e.to_string()).context(format!("creating json dir {dir}")))?;
         let path = format!("{dir}/{title}.json");
         let json = ppf_types::ToJson::to_json_pretty(&reports);
-        std::fs::write(&path, json).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json)
+            .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {path}")))?;
     }
-    Ok(body)
+    let counts = CTX.with(|c| c.borrow().counts.clone());
+    Ok(ExperimentOutput {
+        body,
+        total_cells: counts.total,
+        failed_cells: counts.failed,
+        loaded_cells: counts.loaded,
+        executed_cells: counts.executed,
+    })
+}
+
+/// Cell accounting accumulated over one `run_experiment_full` invocation.
+#[derive(Debug, Clone, Default)]
+struct CellCounts {
+    total: usize,
+    failed: usize,
+    loaded: usize,
+    executed: usize,
+}
+
+/// Per-invocation context for the current experiment — thread-local
+/// plumbing keeps every figure closure's signature flat.
+#[derive(Debug)]
+struct RunContext {
+    seeds: u32,
+    checkpoint: Option<PathBuf>,
+    counts: CellCounts,
 }
 
 thread_local! {
-    /// Seed count for the current `run_experiment_seeds` invocation —
-    /// thread-local plumbing keeps every figure closure's signature flat.
-    static SEEDS: std::cell::Cell<u32> = const { std::cell::Cell::new(1) };
+    static CTX: std::cell::RefCell<RunContext> = std::cell::RefCell::new(RunContext {
+        seeds: 1,
+        checkpoint: None,
+        counts: CellCounts::default(),
+    });
 }
 
 /// Run a grid and apply a formatter, returning (name, reports, rendered).
+/// A grid with failed cells renders as [`partial_results`] instead of the
+/// figure-specific table (whose lock-step label groups cannot tolerate
+/// holes); the reports vector then carries the surviving cells only.
 fn run_and(
     name: &str,
     grid: Vec<experiments::RunSpec>,
     format: impl Fn(&[SimReport]) -> String,
-) -> (String, Vec<SimReport>, String) {
-    let seeds = SEEDS.with(|s| s.get());
-    let reports = ppf_sim::run_grid_seeds(grid, seeds);
-    let body = format(&reports);
-    (name.to_string(), reports, body)
+) -> Result<(String, Vec<SimReport>, String), PpfError> {
+    let (seeds, ckpt) = CTX.with(|c| {
+        let c = c.borrow();
+        (c.seeds, c.checkpoint.clone())
+    });
+    let total = grid.len();
+    let (outcomes, loaded, executed) = match ckpt {
+        Some(dir) => {
+            let run = checkpoint::run_grid_seeds_checkpointed(grid, seeds, &dir.join(name))?;
+            for e in &run.write_errors {
+                eprintln!("warning: {e}");
+            }
+            (run.outcomes, run.loaded, run.executed)
+        }
+        None => {
+            let outcomes = experiments::run_grid_seeds_outcomes(grid, seeds);
+            (outcomes, 0, total * seeds as usize)
+        }
+    };
+    let failed = outcomes.iter().filter(|o| !o.is_ok()).count();
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        c.counts.total += total;
+        c.counts.failed += failed;
+        c.counts.loaded += loaded;
+        c.counts.executed += executed;
+    });
+    let reports: Vec<SimReport> = outcomes
+        .iter()
+        .filter_map(|o| o.report().cloned())
+        .collect();
+    let body = if failed == 0 {
+        format(&reports)
+    } else {
+        partial_results(name, &outcomes)
+    };
+    Ok((name.to_string(), reports, body))
+}
+
+/// Rendering for a grid with failed cells. The figure formatters walk
+/// per-label report groups in lock-step by workload index and cannot
+/// tolerate holes, so a partial run falls back to a generic per-cell IPC
+/// grid — failed cells shown as `—` — plus an appendix with each failed
+/// cell's structured error.
+fn partial_results(name: &str, outcomes: &[CellOutcome]) -> String {
+    let failed = outcomes.iter().filter(|o| !o.is_ok()).count();
+    let mut out = header(&format!(
+        "{name}: partial results — {failed}/{} cells failed",
+        outcomes.len()
+    ));
+    let mut t = TextTable::new(vec!["config", "benchmark", "IPC", "status"]);
+    for o in outcomes {
+        match o {
+            CellOutcome::Ok(r) => t.row(vec![
+                r.label.clone(),
+                r.workload.clone(),
+                f3(r.ipc()),
+                "ok".to_string(),
+            ]),
+            CellOutcome::Failed(f) => t.row(vec![
+                f.label.clone(),
+                f.workload.clone(),
+                "—".to_string(),
+                f.error.kind.label().to_string(),
+            ]),
+        }
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(out, "failed cells:");
+    for f in outcomes.iter().filter_map(CellOutcome::failure) {
+        let _ = writeln!(
+            out,
+            "  {}/{} seed {} ({} attempts): {}",
+            f.label, f.workload, f.seed, f.attempts, f.error
+        );
+    }
+    out
 }
 
 /// Reports for one experiment label, in workload order.

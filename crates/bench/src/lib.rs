@@ -1,4 +1,6 @@
 //! Shared experiment-to-table formatting for the `figures` binary and the
-//! Criterion benches. See [`figures`].
+//! Criterion benches ([`figures`]), plus checkpoint/resume for long sweeps
+//! ([`checkpoint`]).
 
+pub mod checkpoint;
 pub mod figures;

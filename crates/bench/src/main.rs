@@ -1,23 +1,43 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures [--insts N] [--json DIR] <experiment>...
+//! figures [--insts N] [--seeds K] [--json DIR] [--checkpoint DIR] <experiment>...
 //! figures all
+//! figures --list
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig4 ... fig16 nsp-sdp
-//! cache-vs-table`. Each prints an aligned text table with the same
-//! rows/series as the paper's figure, plus the mean the paper quotes in its
-//! prose. With `--json DIR` the raw reports are also written as JSON.
+//! cache-vs-table` and the `ablate-*` grids (`--list` enumerates them).
+//! Each prints an aligned text table with the same rows/series as the
+//! paper's figure, plus the mean the paper quotes in its prose. With
+//! `--json DIR` the raw reports are also written as JSON. With
+//! `--checkpoint DIR` every completed cell is persisted and a re-run
+//! resumes, executing only missing or previously failed cells.
+//!
+//! Exit codes: 0 on success, 1 on usage or I/O errors (nothing runs on a
+//! bad invocation), 2 when the sweep completed but some cells failed
+//! (their errors are listed in the output's failure appendix).
 
-use ppf_bench::figures;
+use ppf_bench::figures::{self, ExperimentOptions};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: figures [--insts N] [--seeds K] [--json DIR] [--checkpoint DIR] <experiment>...\n\
+     \x20      figures --list";
+
+/// Exit code for "the sweep ran, but some cells failed".
+const EXIT_PARTIAL: u8 = 2;
+
+fn print_experiments() {
+    println!("experiments: {}", figures::EXPERIMENTS.join(" "));
+    println!("             all");
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut insts = ppf_sim::experiments::DEFAULT_INSTRUCTIONS;
-    let mut seeds = 1u32;
-    let mut json_dir: Option<String> = None;
+    let mut opts = ExperimentOptions::default();
     let mut names: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -27,7 +47,7 @@ fn main() -> ExitCode {
                 match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(n) => insts = n,
                     None => {
-                        eprintln!("--insts needs a number");
+                        eprintln!("--insts needs a number\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -35,9 +55,9 @@ fn main() -> ExitCode {
             "--seeds" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) if n >= 1 => seeds = n,
+                    Some(n) if n >= 1 => opts.seeds = n,
                     _ => {
-                        eprintln!("--seeds needs a positive number");
+                        eprintln!("--seeds needs a positive number\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -45,18 +65,37 @@ fn main() -> ExitCode {
             "--json" => {
                 i += 1;
                 match args.get(i) {
-                    Some(d) => json_dir = Some(d.clone()),
+                    Some(d) => opts.json_dir = Some(d.clone()),
                     None => {
-                        eprintln!("--json needs a directory");
+                        eprintln!("--json needs a directory\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
             }
-            "--help" | "-h" => {
-                println!("usage: figures [--insts N] [--seeds K] [--json DIR] <experiment>...");
-                println!("experiments: {}", figures::EXPERIMENTS.join(" "));
-                println!("             all");
+            "--checkpoint" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => opts.checkpoint = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("--checkpoint needs a directory\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--list" => {
+                for name in figures::EXPERIMENTS {
+                    println!("{name}");
+                }
                 return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                print_experiments();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}'\n{USAGE}");
+                return ExitCode::FAILURE;
             }
             name => names.push(name.to_string()),
         }
@@ -69,14 +108,41 @@ fn main() -> ExitCode {
     if names.iter().any(|n| n == "all") {
         names = figures::EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    // Validate every name before running anything: a typo must not waste a
+    // sweep on the experiments listed before it.
+    let unknown: Vec<&String> = names
+        .iter()
+        .filter(|n| !figures::EXPERIMENTS.contains(&n.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for n in unknown {
+            eprintln!("unknown experiment '{n}'");
+        }
+        print_experiments();
+        return ExitCode::FAILURE;
+    }
+    let mut failed_cells = 0usize;
     for name in &names {
-        match figures::run_experiment_seeds(name, insts, json_dir.as_deref(), seeds) {
-            Ok(output) => println!("{output}"),
+        match figures::run_experiment_full(name, insts, &opts) {
+            Ok(out) => {
+                println!("{}", out.body);
+                if opts.checkpoint.is_some() && out.loaded_cells + out.executed_cells > 0 {
+                    eprintln!(
+                        "[{name}] checkpoint: {} cell runs reloaded, {} executed",
+                        out.loaded_cells, out.executed_cells
+                    );
+                }
+                failed_cells += out.failed_cells;
+            }
             Err(e) => {
                 eprintln!("{name}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if failed_cells > 0 {
+        eprintln!("{failed_cells} cell(s) failed; see the failure appendix above");
+        return ExitCode::from(EXIT_PARTIAL);
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,209 @@
+//! Checkpoint/resume integration drills: fresh runs persist every healthy
+//! cell, resumes execute only the missing or failed ones, a config change
+//! invalidates the old entries, and corrupt files are re-run.
+
+use ppf_bench::checkpoint::{cell_path, run_grid_checkpointed, run_grid_seeds_checkpointed};
+use ppf_sim::experiments::CellOutcome;
+use ppf_sim::{RunSpec, WatchdogConfig};
+use ppf_types::{PpfErrorKind, SystemConfig};
+use ppf_workloads::{FaultSpec, Workload};
+use std::path::PathBuf;
+
+const N: u64 = 4_000;
+
+/// A scratch checkpoint directory unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ppf-ckpt-{}-{name}", std::process::id()))
+}
+
+/// The acceptance drill grid: 10 workloads, one panicking and one wedged.
+fn drill_grid() -> Vec<RunSpec> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let spec = RunSpec::new("drill", SystemConfig::paper_default(), w).instructions(N);
+            match w {
+                Workload::Perimeter => spec.with_fault(FaultSpec::panic_at(500)),
+                Workload::Gcc => {
+                    let mut cfg = SystemConfig::paper_default();
+                    cfg.mem.latency = 1_000_000_000;
+                    RunSpec::new("drill", cfg, w)
+                        .instructions(N)
+                        .with_fault(FaultSpec::hang_at(0))
+                        .with_watchdog(WatchdogConfig {
+                            max_cpi: 10_000,
+                            stall_window: 20_000,
+                        })
+                }
+                _ => spec,
+            }
+        })
+        .collect()
+}
+
+/// The same grid with every fault healed (what a fixed re-run looks like).
+fn healed_grid() -> Vec<RunSpec> {
+    drill_grid()
+        .into_iter()
+        .map(|mut s| {
+            s.fault = None;
+            if s.config.mem.latency > 1_000 {
+                s.config = SystemConfig::paper_default();
+            }
+            s
+        })
+        .collect()
+}
+
+/// Fresh run: every cell executes, only healthy cells leave files, and a
+/// resume of the fixed grid reloads exactly those and runs the rest.
+#[test]
+fn resume_executes_only_failed_cells() {
+    let dir = scratch("resume");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let first = run_grid_checkpointed(drill_grid(), &dir).unwrap();
+    assert_eq!(first.loaded, 0, "fresh directory has nothing to reload");
+    assert_eq!(first.executed, 10);
+    assert_eq!(first.corrupt, 0);
+    assert!(first.write_errors.is_empty());
+    assert_eq!(first.outcomes.iter().filter(|o| o.is_ok()).count(), 8);
+    // Only the 8 healthy cells were persisted; failures are never
+    // checkpointed so a resume retries them.
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(files, 8);
+    for (spec, outcome) in drill_grid().iter().zip(&first.outcomes) {
+        assert_eq!(cell_path(&dir, spec).exists(), outcome.is_ok());
+    }
+
+    // Resume with the faults fixed: the 8 checkpointed cells reload, only
+    // the 2 previously-failed cells execute. The wedged cell's config
+    // changed when it was healed, so its old key never existed anyway.
+    let second = run_grid_checkpointed(healed_grid(), &dir).unwrap();
+    assert_eq!(second.loaded, 8);
+    assert_eq!(second.executed, 2);
+    assert!(second.outcomes.iter().all(CellOutcome::is_ok));
+
+    // The reloaded cells are identical to the first run's survivors.
+    for (a, b) in first
+        .outcomes
+        .iter()
+        .zip(&second.outcomes)
+        .filter_map(|(a, b)| Some((a.report()?, b.report()?)))
+    {
+        assert_eq!(a.stats, b.stats);
+    }
+
+    // Third run: everything reloads, nothing executes.
+    let third = run_grid_checkpointed(healed_grid(), &dir).unwrap();
+    assert_eq!(third.loaded, 10);
+    assert_eq!(third.executed, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Any config change produces different cell keys, so a checkpoint from
+/// the old sweep is invisible to the new one.
+#[test]
+fn config_change_invalidates_checkpoint() {
+    let dir = scratch("invalidate");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let grid = || {
+        vec![
+            RunSpec::new("base", SystemConfig::paper_default(), Workload::Gzip).instructions(N),
+            RunSpec::new("base", SystemConfig::paper_default(), Workload::Mcf).instructions(N),
+        ]
+    };
+    let first = run_grid_checkpointed(grid(), &dir).unwrap();
+    assert_eq!((first.loaded, first.executed), (0, 2));
+
+    let mut changed = grid();
+    for spec in &mut changed {
+        spec.config.prefetch.nsp_degree += 1;
+    }
+    for spec in &changed {
+        assert!(
+            !cell_path(&dir, spec).exists(),
+            "changed config must hash to fresh keys"
+        );
+    }
+    let second = run_grid_checkpointed(changed, &dir).unwrap();
+    assert_eq!(
+        (second.loaded, second.executed),
+        (0, 2),
+        "old entries must not satisfy the new sweep"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A checkpoint file that exists but does not parse is counted corrupt and
+/// the cell is transparently re-run (and re-persisted).
+#[test]
+fn corrupt_checkpoint_entry_is_rerun() {
+    let dir = scratch("corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let grid =
+        || vec![RunSpec::new("c", SystemConfig::paper_default(), Workload::Bh).instructions(N)];
+    run_grid_checkpointed(grid(), &dir).unwrap();
+    let path = cell_path(&dir, &grid()[0]);
+    std::fs::write(&path, "{ not json").unwrap();
+
+    let rerun = run_grid_checkpointed(grid(), &dir).unwrap();
+    assert_eq!(rerun.corrupt, 1);
+    assert_eq!((rerun.loaded, rerun.executed), (0, 1));
+    assert!(rerun.outcomes[0].is_ok());
+    // The re-run rewrote a valid entry.
+    let healed = run_grid_checkpointed(grid(), &dir).unwrap();
+    assert_eq!((healed.loaded, healed.executed), (1, 0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The multi-seed form checkpoints each fanned (cell, seed) run under its
+/// own key and merges on reload exactly like a live run.
+#[test]
+fn seed_fanout_checkpoints_every_fanned_cell() {
+    let dir = scratch("seeds");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let grid =
+        || vec![RunSpec::new("s", SystemConfig::paper_default(), Workload::Em3d).instructions(N)];
+    let first = run_grid_seeds_checkpointed(grid(), 3, &dir).unwrap();
+    assert_eq!((first.loaded, first.executed), (0, 3));
+    assert_eq!(first.outcomes.len(), 1, "outcomes are merged per input cell");
+    let merged = first.outcomes[0].report().unwrap();
+    assert!(merged.stats.instructions >= 3 * N);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3);
+
+    let second = run_grid_seeds_checkpointed(grid(), 3, &dir).unwrap();
+    assert_eq!((second.loaded, second.executed), (3, 0));
+    assert_eq!(
+        second.outcomes[0].report().unwrap().stats,
+        merged.stats,
+        "reloaded merge must match the live merge"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Failures come back as structured outcomes from the checkpointed path
+/// too (the figures layer renders them in the appendix).
+#[test]
+fn checkpointed_failures_are_structured() {
+    let dir = scratch("failures");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let spec = RunSpec::new("f", SystemConfig::paper_default(), Workload::Gap)
+        .instructions(N)
+        .with_fault(FaultSpec::panic_at(50));
+    let run = run_grid_checkpointed(vec![spec], &dir).unwrap();
+    let failure = run.outcomes[0].failure().expect("cell fails");
+    assert_eq!(failure.error.kind, PpfErrorKind::CellPanic);
+    assert_eq!(failure.attempts, 2);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

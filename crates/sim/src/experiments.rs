@@ -8,12 +8,21 @@
 //! `(config, workload, seed)`, so [`run_grid`] fans them out across threads
 //! with a simple work queue (`std::thread::scope` + `std::sync::Mutex` — no
 //! shared mutable simulator state).
+//!
+//! The runner is fault tolerant: each cell executes under
+//! [`std::panic::catch_unwind`], a failed cell is retried once to
+//! distinguish deterministic from transient failure, and
+//! [`run_grid_outcomes`] reports per-cell [`CellOutcome`]s so one bad cell
+//! cannot take down a 300-cell sweep. The panicking [`run_grid`] /
+//! [`run_grid_seeds`] wrappers keep the original all-green semantics.
 
 use crate::report::SimReport;
-use crate::simulator::Simulator;
-use ppf_types::{FilterKind, PrefetchConfig, SystemConfig};
-use std::sync::Mutex;
-use ppf_workloads::Workload;
+use crate::simulator::{Simulator, WatchdogConfig};
+use ppf_cpu::InstStream;
+use ppf_types::{json_struct, FilterKind, PpfError, PrefetchConfig, SplitMix64, SystemConfig};
+use ppf_workloads::{FaultSpec, FaultStream, Workload};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Default per-run instruction budget for full experiments. The paper runs
 /// 300M instructions per benchmark; the models reach steady state orders of
@@ -43,6 +52,11 @@ pub struct RunSpec {
     pub n_instructions: u64,
     /// Warm-up instructions before statistics reset.
     pub warmup: u64,
+    /// Watchdog bounds for this cell (cycle ceiling, stall window).
+    pub watchdog: WatchdogConfig,
+    /// Fault to inject into the instruction stream (tests and CI fault
+    /// drills only; `None` everywhere else).
+    pub fault: Option<FaultSpec>,
 }
 
 impl RunSpec {
@@ -55,6 +69,8 @@ impl RunSpec {
             seed: DEFAULT_SEED,
             n_instructions: DEFAULT_INSTRUCTIONS,
             warmup: DEFAULT_WARMUP,
+            watchdog: WatchdogConfig::default(),
+            fault: None,
         }
     }
 
@@ -67,51 +83,262 @@ impl RunSpec {
         self
     }
 
-    /// Execute this cell.
-    pub fn run(&self) -> SimReport {
-        let sim = Simulator::with_seed(
-            self.config.clone(),
-            Box::new(self.workload.stream(self.seed)),
-            self.seed,
+    /// Inject `fault` into this cell's instruction stream.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Override the watchdog bounds for this cell.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// This cell's identity, as used in error context frames.
+    fn identity(&self) -> String {
+        format!(
+            "cell {}/{} seed {}",
+            self.label,
+            self.workload.name(),
+            self.seed
         )
-        .expect("experiment grids only produce valid configs");
-        let mut sim = sim.labeled(self.label.clone(), self.workload.name());
-        sim.warmup(self.warmup);
-        sim.run(self.n_instructions)
+    }
+
+    /// Execute this cell, surfacing failures (invalid config, watchdog
+    /// trip, funnel violation) as structured errors.
+    pub fn run_checked(&self) -> Result<SimReport, PpfError> {
+        let stream: Box<dyn InstStream> = match self.fault {
+            Some(fault) => Box::new(FaultStream::new(self.workload.stream(self.seed), fault)),
+            None => Box::new(self.workload.stream(self.seed)),
+        };
+        let sim = Simulator::with_seed(self.config.clone(), stream, self.seed)
+            .map_err(|e| e.context(self.identity()))?;
+        let mut sim = sim
+            .labeled(self.label.clone(), self.workload.name())
+            .with_watchdog(self.watchdog);
+        sim.warmup_checked(self.warmup)?;
+        sim.run_checked(self.n_instructions)
+    }
+
+    /// Execute this cell, panicking on failure with the rendered
+    /// structured error (see [`RunSpec::run_checked`]).
+    pub fn run(&self) -> SimReport {
+        self.run_checked().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-/// Run every cell under `seeds` different workload seeds and merge the
-/// per-cell statistics (sums of counters — derived rates and ratios then
-/// behave as instruction-weighted averages). Seed 1 reduces to
-/// [`run_grid`]. Output order matches input order.
-pub fn run_grid_seeds(specs: Vec<RunSpec>, seeds: u32) -> Vec<SimReport> {
-    assert!(seeds >= 1);
-    if seeds == 1 {
-        return run_grid(specs);
+/// One failed grid cell: its identity, the structured error, and how many
+/// attempts were made (2 = the retry also failed, so the failure is
+/// deterministic in this machine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Configuration label of the failed cell.
+    pub label: String,
+    /// Workload name of the failed cell.
+    pub workload: String,
+    /// Stream seed of the failed cell.
+    pub seed: u64,
+    /// The error from the last attempt.
+    pub error: PpfError,
+    /// Attempts made (first run + retries).
+    pub attempts: u32,
+}
+
+json_struct!(CellFailure {
+    label,
+    workload,
+    seed,
+    error,
+    attempts,
+});
+
+/// The outcome of one panic-isolated grid cell. The report is boxed so a
+/// mostly-failed outcome vector stays small (`SimStats` is ~650 bytes).
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell completed and produced a report.
+    Ok(Box<SimReport>),
+    /// The cell failed every attempt; the rest of the grid survives.
+    Failed(CellFailure),
+}
+
+impl CellOutcome {
+    /// The report, if the cell succeeded.
+    pub fn report(&self) -> Option<&SimReport> {
+        match self {
+            CellOutcome::Ok(r) => Some(r),
+            CellOutcome::Failed(_) => None,
+        }
     }
-    // Fan the whole (cell × seed) product through one parallel pool.
-    let n = specs.len();
-    let mut fanned = Vec::with_capacity(n * seeds as usize);
+
+    /// The failure, if the cell failed.
+    pub fn failure(&self) -> Option<&CellFailure> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Failed(f) => Some(f),
+        }
+    }
+
+    /// Did the cell succeed?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+}
+
+/// Attempts per cell: the first run plus one retry, to distinguish
+/// deterministic failures from transient ones (OOM pressure, signals).
+const MAX_ATTEMPTS: u32 = 2;
+
+/// Best-effort text from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cell under panic isolation with bounded retry.
+fn run_cell_isolated(spec: &RunSpec) -> CellOutcome {
+    let mut last_error = PpfError::cell_panic("cell never ran");
+    for _ in 0..MAX_ATTEMPTS {
+        match catch_unwind(AssertUnwindSafe(|| spec.run_checked())) {
+            Ok(Ok(report)) => return CellOutcome::Ok(Box::new(report)),
+            Ok(Err(e)) => last_error = e,
+            Err(payload) => {
+                last_error =
+                    PpfError::cell_panic(panic_message(&*payload)).context(spec.identity());
+            }
+        }
+    }
+    CellOutcome::Failed(CellFailure {
+        label: spec.label.clone(),
+        workload: spec.workload.name().to_string(),
+        seed: spec.seed,
+        error: last_error,
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Lock a mutex, recovering from poisoning. Worker panics are contained by
+/// `catch_unwind`, but a panic that escapes anyway (e.g. from a panic
+/// payload's `Drop`) must not cascade into aborting every surviving cell.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The `s`-th fanned seed derived from `base`.
+///
+/// `s = 0` is `base` itself, so single-seed grids are bit-identical to
+/// [`run_grid`]; later seeds are successive [`SplitMix64`] draws, which are
+/// pairwise distinct across any realistic set of base seeds — unlike the
+/// old `base + 1_000·s` scheme, which collided whenever two cells' base
+/// seeds differed by a small multiple of 1000.
+pub fn fanned_seed(base: u64, s: u32) -> u64 {
+    let mut rng = SplitMix64::new(base);
+    let mut derived = base;
+    for _ in 0..s {
+        derived = rng.next_u64();
+    }
+    derived
+}
+
+/// The seed-major (cell × seed) product grid: all cells at fanned seed 0,
+/// then all at fanned seed 1, … Shared by [`run_grid_seeds_outcomes`] and
+/// the checkpointing layer in `ppf-bench`, which must key cells exactly as
+/// the runner executes them.
+pub fn fan_seeds(specs: &[RunSpec], seeds: u32) -> Vec<RunSpec> {
+    let mut fanned = Vec::with_capacity(specs.len() * seeds as usize);
     for s in 0..seeds {
-        for spec in &specs {
+        for spec in specs {
             let mut cell = spec.clone();
-            cell.seed = spec.seed + 1_000 * s as u64;
+            cell.seed = fanned_seed(spec.seed, s);
             fanned.push(cell);
         }
     }
-    let reports = run_grid(fanned);
-    let mut merged: Vec<SimReport> = reports[..n].to_vec();
+    fanned
+}
+
+/// Collapse a seed-major fanned outcome vector (`seeds × n` entries, see
+/// [`fan_seeds`]) back to one outcome per cell: statistics merge across
+/// seeds (sums of counters — derived rates then behave as
+/// instruction-weighted averages); a cell with any failed seed is
+/// `Failed`, keeping the first seed's failure.
+pub fn merge_seed_outcomes(outcomes: Vec<CellOutcome>, n: usize, seeds: u32) -> Vec<CellOutcome> {
+    assert_eq!(outcomes.len(), n * seeds as usize);
+    let mut merged: Vec<CellOutcome> = outcomes[..n].to_vec();
     for s in 1..seeds as usize {
-        for (i, m) in merged.iter_mut().enumerate() {
-            m.stats.merge(&reports[s * n + i].stats);
+        for (i, slot) in merged.iter_mut().enumerate() {
+            let next = &outcomes[s * n + i];
+            match (&mut *slot, next) {
+                (CellOutcome::Ok(m), CellOutcome::Ok(r)) => m.stats.merge(&r.stats),
+                (CellOutcome::Failed(_), _) => {}
+                (CellOutcome::Ok(_), CellOutcome::Failed(f)) => {
+                    *slot = CellOutcome::Failed(f.clone());
+                }
+            }
         }
     }
     merged
 }
 
+/// Run every cell under `seeds` different workload seeds and merge the
+/// per-cell statistics (sums of counters — derived rates and ratios then
+/// behave as instruction-weighted averages). Seed 1 reduces to
+/// [`run_grid`]. Output order matches input order. Panics if any cell
+/// fails both attempts; [`run_grid_seeds_outcomes`] is the fault-tolerant
+/// form.
+pub fn run_grid_seeds(specs: Vec<RunSpec>, seeds: u32) -> Vec<SimReport> {
+    unwrap_outcomes(run_grid_seeds_outcomes(specs, seeds))
+}
+
+/// Fault-tolerant form of [`run_grid_seeds`]: per-cell outcomes instead of
+/// a panic on the first failure.
+pub fn run_grid_seeds_outcomes(specs: Vec<RunSpec>, seeds: u32) -> Vec<CellOutcome> {
+    assert!(seeds >= 1);
+    if seeds == 1 {
+        return run_grid_outcomes(specs);
+    }
+    // Fan the whole (cell × seed) product through one parallel pool.
+    let n = specs.len();
+    let fanned = fan_seeds(&specs, seeds);
+    merge_seed_outcomes(run_grid_outcomes(fanned), n, seeds)
+}
+
+fn unwrap_outcomes(outcomes: Vec<CellOutcome>) -> Vec<SimReport> {
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            CellOutcome::Ok(r) => *r,
+            CellOutcome::Failed(f) => panic!("{}", f.error),
+        })
+        .collect()
+}
+
 /// Run every cell, in parallel, preserving input order in the output.
+/// Panics if any cell fails both attempts; [`run_grid_outcomes`] is the
+/// fault-tolerant form.
 pub fn run_grid(specs: Vec<RunSpec>) -> Vec<SimReport> {
+    unwrap_outcomes(run_grid_outcomes(specs))
+}
+
+/// Run every cell, in parallel, under panic isolation with bounded retry;
+/// preserves input order. One bad cell yields one `Failed` outcome and
+/// every other cell still completes.
+pub fn run_grid_outcomes(specs: Vec<RunSpec>) -> Vec<CellOutcome> {
+    run_grid_outcomes_observed(specs, |_, _| {})
+}
+
+/// As [`run_grid_outcomes`], invoking `observe(index, &outcome)` as each
+/// cell finishes (from the worker that ran it) — the checkpoint layer's
+/// streaming-write hook, so completed cells survive a crash mid-sweep.
+pub fn run_grid_outcomes_observed<F>(specs: Vec<RunSpec>, observe: F) -> Vec<CellOutcome>
+where
+    F: Fn(usize, &CellOutcome) + Sync,
+{
     let n = specs.len();
     if n == 0 {
         return Vec::new();
@@ -121,23 +348,32 @@ pub fn run_grid(specs: Vec<RunSpec>) -> Vec<SimReport> {
         .unwrap_or(4)
         .min(n);
     if workers <= 1 {
-        return specs.iter().map(RunSpec::run).collect();
+        return specs
+            .iter()
+            .enumerate()
+            .map(|(idx, spec)| {
+                let outcome = run_cell_isolated(spec);
+                observe(idx, &outcome);
+                outcome
+            })
+            .collect();
     }
     let queue: Mutex<Vec<(usize, RunSpec)>> = Mutex::new(specs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<CellOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("queue poisoned").pop();
+                let job = lock_clean(&queue).pop();
                 let Some((idx, spec)) = job else { break };
-                let report = spec.run();
-                results.lock().expect("results poisoned")[idx] = Some(report);
+                let outcome = run_cell_isolated(&spec);
+                observe(idx, &outcome);
+                lock_clean(&results)[idx] = Some(outcome);
             });
         }
     });
     results
         .into_inner()
-        .expect("results poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every cell ran"))
         .collect()

@@ -19,6 +19,9 @@ pub mod experiments;
 pub mod report;
 pub mod simulator;
 
-pub use experiments::{run_grid, run_grid_seeds, RunSpec};
+pub use experiments::{
+    fanned_seed, run_grid, run_grid_outcomes, run_grid_seeds, run_grid_seeds_outcomes, CellFailure,
+    CellOutcome, RunSpec,
+};
 pub use report::SimReport;
-pub use simulator::Simulator;
+pub use simulator::{Simulator, WatchdogConfig};

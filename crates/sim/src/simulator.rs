@@ -25,13 +25,47 @@ use ppf_prefetch::{
     software, AccessEvent, ComposedPrefetcher, CorrelationPrefetcher, NextSequencePrefetcher,
     Prefetcher, ShadowDirectoryPrefetcher, StridePrefetcher,
 };
-use ppf_types::{Addr, Cycle, LineAddr, Pc, PrefetchRequest, SimStats, SystemConfig};
+use ppf_types::{Addr, Cycle, LineAddr, Pc, PpfError, PrefetchRequest, SimStats, SystemConfig};
 
 use crate::report::SimReport;
 
 /// Hard ceiling on cycles per retired instruction before the run is
 /// declared wedged (indicates a simulator bug, not a slow workload).
 const MAX_CPI: u64 = 10_000;
+
+/// Default forward-progress stall window: cycles the core may go without
+/// retiring a single instruction before the run is declared wedged. Far
+/// above any real memory round-trip in this machine, far below the cycle
+/// ceiling, so a fully stalled pipeline is caught early.
+const STALL_WINDOW: u64 = 1_000_000;
+
+/// Watchdog bounds for a simulation run: a cycle ceiling derived from the
+/// instruction budget and a no-retire stall detector. Both abort a wedged
+/// cell with a structured [`PpfError`] carrying a pipeline snapshot instead
+/// of hanging the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Cycle ceiling per instruction of budget: a run of `n` instructions
+    /// may take at most `n * max_cpi` cycles ([`PpfErrorKind::WatchdogTimeout`]
+    /// otherwise).
+    ///
+    /// [`PpfErrorKind::WatchdogTimeout`]: ppf_types::PpfErrorKind::WatchdogTimeout
+    pub max_cpi: u64,
+    /// Maximum cycles without a single retirement before the run is
+    /// declared stalled ([`PpfErrorKind::ForwardProgressStall`]).
+    ///
+    /// [`PpfErrorKind::ForwardProgressStall`]: ppf_types::PpfErrorKind::ForwardProgressStall
+    pub stall_window: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            max_cpi: MAX_CPI,
+            stall_window: STALL_WINDOW,
+        }
+    }
+}
 
 /// The memory-side half of the machine (everything below the LSQ).
 pub struct MemSystem {
@@ -103,7 +137,7 @@ impl MemSystem {
     /// queue backlog: every proposed candidate is accounted for exactly once
     /// (duplicate-squashed, filter-rejected, overflow-dropped, issued, or
     /// still queued).
-    pub fn check_funnel(&self) -> Result<(), String> {
+    pub fn check_funnel(&self) -> Result<(), PpfError> {
         self.stats.check_funnel_conservation(self.queue_backlog())
     }
 
@@ -301,12 +335,13 @@ pub struct Simulator {
     /// Cycle at the last stats reset (IPC is measured from here).
     cycle_base: Cycle,
     core_stats: SimStats,
+    watchdog: WatchdogConfig,
 }
 
 impl Simulator {
     /// Build a simulator for `cfg` running `stream`. Fails if the config is
     /// structurally invalid.
-    pub fn new(cfg: SystemConfig, stream: impl InstStream + 'static) -> Result<Self, String> {
+    pub fn new(cfg: SystemConfig, stream: impl InstStream + 'static) -> Result<Self, PpfError> {
         Self::with_seed(cfg, Box::new(stream), 0)
     }
 
@@ -315,7 +350,7 @@ impl Simulator {
         cfg: SystemConfig,
         stream: Box<dyn InstStream>,
         seed: u64,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, PpfError> {
         cfg.validate()?;
         Ok(Simulator {
             core: Core::new(&cfg.core),
@@ -328,18 +363,47 @@ impl Simulator {
             now: 0,
             cycle_base: 0,
             core_stats: SimStats::default(),
+            watchdog: WatchdogConfig::default(),
         })
     }
 
-    /// Run `n` instructions as cache/predictor/filter warm-up, then zero
-    /// all statistics. Steady-state measurement after warm-up is the
-    /// standard methodology for short simulations standing in for the
-    /// paper's 300M-instruction runs (compulsory misses would otherwise
-    /// dominate the L2 numbers).
-    pub fn warmup(&mut self, n: u64) {
-        let target = self.core_stats.instructions + n;
+    /// Replace the watchdog bounds (builder form; the default is
+    /// [`WatchdogConfig::default`]).
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// The run identity used in error context frames: label, workload, seed.
+    fn run_identity(&self) -> String {
+        let label = if self.label.is_empty() {
+            "?"
+        } else {
+            &self.label
+        };
+        let workload = if self.workload_name.is_empty() {
+            "?"
+        } else {
+            &self.workload_name
+        };
+        format!("run {label}/{workload} seed {}", self.seed)
+    }
+
+    /// Drive the machine until `target` cumulative instructions have
+    /// retired, under watchdog supervision. The watchdog checks are
+    /// read-only observers of the per-cycle loop, so a run that stays
+    /// within bounds is cycle-for-cycle identical to an unsupervised one.
+    fn drive(&mut self, target: u64, phase: &'static str) -> Result<(), PpfError> {
+        let budget = target.saturating_sub(self.core_stats.instructions);
+        let deadline = self.now + budget.max(1).saturating_mul(self.watchdog.max_cpi);
+        let mut last_retired = self.core_stats.instructions;
+        let mut last_retire_cycle = self.now;
         while self.core_stats.instructions < target {
             self.now += 1;
+            // The prefetch queue and the LSQ share the universal L1 ports
+            // (Figure 3). Arbitration alternates priority each cycle so
+            // prefetch traffic genuinely competes with demand accesses —
+            // the contention the paper's filter exists to relieve (§5.4).
             if self.now.is_multiple_of(2) {
                 self.mem.drain_prefetch_queue(self.now);
             }
@@ -350,7 +414,56 @@ impl Simulator {
                 &mut self.core_stats,
             );
             self.mem.drain_prefetch_queue(self.now);
+            if self.core_stats.instructions > last_retired {
+                last_retired = self.core_stats.instructions;
+                last_retire_cycle = self.now;
+            } else if self.now - last_retire_cycle >= self.watchdog.stall_window {
+                return Err(PpfError::forward_progress_stall(format!(
+                    "no instruction retired for {} cycles during {phase}: \
+                     {}/{} instructions at cycle {} (last retirement at cycle {}, \
+                     prefetch queue backlog {})",
+                    self.watchdog.stall_window,
+                    self.core_stats.instructions,
+                    target,
+                    self.now,
+                    last_retire_cycle,
+                    self.mem.queue_backlog(),
+                ))
+                .context(self.run_identity()));
+            }
+            if self.now >= deadline {
+                return Err(PpfError::watchdog_timeout(format!(
+                    "cycle ceiling exceeded during {phase}: {}/{} instructions \
+                     after {} cycles (budget {} insts x max CPI {}, last \
+                     retirement at cycle {}, prefetch queue backlog {})",
+                    self.core_stats.instructions,
+                    target,
+                    self.now - self.cycle_base,
+                    budget.max(1),
+                    self.watchdog.max_cpi,
+                    last_retire_cycle,
+                    self.mem.queue_backlog(),
+                ))
+                .context(self.run_identity()));
+            }
         }
+        Ok(())
+    }
+
+    /// Run `n` instructions as cache/predictor/filter warm-up, then zero
+    /// all statistics. Steady-state measurement after warm-up is the
+    /// standard methodology for short simulations standing in for the
+    /// paper's 300M-instruction runs (compulsory misses would otherwise
+    /// dominate the L2 numbers).
+    pub fn warmup(&mut self, n: u64) {
+        self.warmup_checked(n).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Simulator::warmup`] with the watchdog error surfaced instead of
+    /// panicking — the form the fault-tolerant grid runner uses.
+    pub fn warmup_checked(&mut self, n: u64) -> Result<(), PpfError> {
+        let target = self.core_stats.instructions + n;
+        self.drive(target, "warmup")?;
         self.core_stats = SimStats::default();
         self.mem.stats = SimStats::default();
         // Requests enqueued before the reset would otherwise surface as
@@ -358,6 +471,7 @@ impl Simulator {
         // ends with an empty queue so measurement starts balanced.
         self.mem.flush_prefetch_queue();
         self.cycle_base = self.now;
+        Ok(())
     }
 
     /// Attach report labels (experiment + workload names).
@@ -389,42 +503,31 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the machine stops retiring instructions entirely (a
-    /// simulator bug, surfaced loudly rather than looping forever).
+    /// Panics if the watchdog trips (cycle ceiling or forward-progress
+    /// stall — a simulator bug, surfaced loudly rather than looping
+    /// forever) or, in debug builds, on a funnel-conservation violation.
+    /// The panic message is the rendered [`PpfError`], including the run
+    /// label, workload and seed. Use [`Simulator::run_checked`] to get the
+    /// structured error instead.
     pub fn run(&mut self, n_instructions: u64) -> SimReport {
+        self.run_checked(n_instructions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run`] with watchdog and funnel failures surfaced as
+    /// structured errors instead of panics — the form the fault-tolerant
+    /// grid runner uses.
+    pub fn run_checked(&mut self, n_instructions: u64) -> Result<SimReport, PpfError> {
         let target = self.core_stats.instructions + n_instructions;
-        let deadline = self.now + n_instructions.max(1) * MAX_CPI;
-        while self.core_stats.instructions < target {
-            self.now += 1;
-            // The prefetch queue and the LSQ share the universal L1 ports
-            // (Figure 3). Arbitration alternates priority each cycle so
-            // prefetch traffic genuinely competes with demand accesses —
-            // the contention the paper's filter exists to relieve (§5.4).
-            if self.now.is_multiple_of(2) {
-                self.mem.drain_prefetch_queue(self.now);
-            }
-            self.core.tick(
-                self.now,
-                &mut *self.stream,
-                &mut self.mem,
-                &mut self.core_stats,
-            );
-            self.mem.drain_prefetch_queue(self.now);
-            assert!(
-                self.now < deadline,
-                "simulator wedged: {} instructions after {} cycles",
-                self.core_stats.instructions,
-                self.now
-            );
-        }
+        self.drive(target, "run")?;
         self.mem.drain_final();
         // Funnel conservation: every proposed prefetch must be accounted
         // for. Debug builds (and the opt-level=2 test profile) pay the
         // check; release sweeps do not.
         if cfg!(debug_assertions) {
-            if let Err(e) = self.mem.check_funnel() {
-                panic!("{e}");
-            }
+            self.mem
+                .check_funnel()
+                .map_err(|e| e.context(self.run_identity()))?;
         }
         // Core and memory stats touch disjoint counters; merging adds the
         // memory side into the core-side snapshot.
@@ -432,12 +535,12 @@ impl Simulator {
         stats.merge(&self.mem.stats);
         stats.instructions = self.core_stats.instructions;
         stats.cycles = self.now - self.cycle_base;
-        SimReport {
+        Ok(SimReport {
             label: self.label.clone(),
             workload: self.workload_name.clone(),
             seed: self.seed,
             stats,
-        }
+        })
     }
 }
 

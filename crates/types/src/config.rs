@@ -9,6 +9,7 @@
 //! The named constructors (`with_l1_32k`, `with_l1_ports`, ...) produce the
 //! exact variant machines evaluated in §5.2.2–§5.5.
 
+use crate::error::PpfError;
 use crate::{json_struct, json_unit_enum};
 
 /// Branch-prediction front-end parameters (Table 1: bimodal 2048 entries,
@@ -108,21 +109,29 @@ impl CacheConfig {
     }
 
     /// Validate structural constraints (power-of-two geometry, nonzero).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), PpfError> {
         if !self.line_bytes.is_power_of_two() {
-            return Err(format!("line_bytes {} not a power of two", self.line_bytes));
+            return Err(PpfError::config_invalid(format!(
+                "line_bytes {} not a power of two",
+                self.line_bytes
+            )));
         }
         if self.ways == 0 || self.ports == 0 {
-            return Err("ways and ports must be nonzero".into());
+            return Err(PpfError::config_invalid("ways and ports must be nonzero"));
         }
         if !self
             .size_bytes
             .is_multiple_of(self.line_bytes as usize * self.ways)
         {
-            return Err("size must be divisible by line_bytes * ways".into());
+            return Err(PpfError::config_invalid(
+                "size must be divisible by line_bytes * ways",
+            ));
         }
         if !self.sets().is_power_of_two() {
-            return Err(format!("set count {} not a power of two", self.sets()));
+            return Err(PpfError::config_invalid(format!(
+                "set count {} not a power of two",
+                self.sets()
+            )));
         }
         Ok(())
     }
@@ -480,43 +489,55 @@ impl SystemConfig {
     }
 
     /// Validate all structural constraints.
-    pub fn validate(&self) -> Result<(), String> {
-        self.l1.validate().map_err(|e| format!("l1: {e}"))?;
-        self.l1i.validate().map_err(|e| format!("l1i: {e}"))?;
-        self.l2.validate().map_err(|e| format!("l2: {e}"))?;
+    pub fn validate(&self) -> Result<(), PpfError> {
+        self.l1.validate().map_err(|e| e.context("l1"))?;
+        self.l1i.validate().map_err(|e| e.context("l1i"))?;
+        self.l2.validate().map_err(|e| e.context("l2"))?;
         if self.l1.line_bytes != self.l2.line_bytes {
             // Simplification shared with the paper's setup: both levels use
             // 32-byte lines, so no sub-line fill logic is modelled.
-            return Err("L1 and L2 line sizes must match".into());
+            return Err(PpfError::config_invalid("L1 and L2 line sizes must match"));
         }
         if !self.filter.table_entries.is_power_of_two() {
-            return Err(format!(
+            return Err(PpfError::config_invalid(format!(
                 "filter table entries {} not a power of two",
                 self.filter.table_entries
-            ));
+            )));
         }
         if self.filter.counter_bits == 0 || self.filter.counter_bits > 8 {
-            return Err("counter_bits must be in 1..=8".into());
+            return Err(PpfError::config_invalid("counter_bits must be in 1..=8"));
         }
         if !self.core.branch.bimodal_entries.is_power_of_two()
             || !self.core.branch.btb_sets.is_power_of_two()
         {
-            return Err("branch predictor tables must be powers of two".into());
+            return Err(PpfError::config_invalid(
+                "branch predictor tables must be powers of two",
+            ));
         }
         if self.core.issue_width == 0 || self.core.rob_entries == 0 || self.core.lsq_entries == 0 {
-            return Err("core widths/windows must be nonzero".into());
+            return Err(PpfError::config_invalid(
+                "core widths/windows must be nonzero",
+            ));
         }
         if self.filter.kind == FilterKind::Hybrid && self.filter.split_by_source {
-            return Err("hybrid filter and split-by-source are mutually exclusive".into());
+            return Err(PpfError::config_invalid(
+                "hybrid filter and split-by-source are mutually exclusive",
+            ));
         }
         if self.buffer.enabled && self.buffer.entries == 0 {
-            return Err("prefetch buffer enabled with zero entries".into());
+            return Err(PpfError::config_invalid(
+                "prefetch buffer enabled with zero entries",
+            ));
         }
         if self.victim.enabled && self.victim.entries == 0 {
-            return Err("victim cache enabled with zero entries".into());
+            return Err(PpfError::config_invalid(
+                "victim cache enabled with zero entries",
+            ));
         }
         if self.prefetch.queue_len == 0 {
-            return Err("prefetch queue length must be nonzero".into());
+            return Err(PpfError::config_invalid(
+                "prefetch queue length must be nonzero",
+            ));
         }
         Ok(())
     }

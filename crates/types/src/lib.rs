@@ -14,12 +14,14 @@
 
 pub mod addr;
 pub mod config;
+pub mod error;
 pub mod json;
 pub mod prefetch;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, Cycle, LineAddr, Pc};
+pub use error::{PpfError, PpfErrorKind};
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use config::{
     BranchConfig, BufferConfig, CacheConfig, CoreConfig, CounterInit, DiagnosticsConfig,

@@ -6,6 +6,7 @@
 //! (IPC, miss rates, the paper's good/bad prefetch census) are computed on
 //! demand by accessor methods so the raw counters stay unambiguous.
 
+use crate::error::PpfError;
 use crate::json_struct;
 use crate::prefetch::PrefetchSource;
 
@@ -304,8 +305,8 @@ impl SimStats {
     ///
     /// `queue_backlog` is the number of candidates sitting in the prefetch
     /// queue at the moment of the check (0 after a final drain). Returns
-    /// `Ok(())` or a description of the imbalance.
-    pub fn check_funnel_conservation(&self, queue_backlog: u64) -> Result<(), String> {
+    /// `Ok(())` or a [`PpfError::funnel_violation`] describing the imbalance.
+    pub fn check_funnel_conservation(&self, queue_backlog: u64) -> Result<(), PpfError> {
         let proposed = self.prefetches_proposed.total();
         let accounted = self.prefetches_duplicate.total()
             + self.prefetches_filtered.total()
@@ -315,7 +316,7 @@ impl SimStats {
         if proposed == accounted {
             Ok(())
         } else {
-            Err(format!(
+            Err(PpfError::funnel_violation(format!(
                 "prefetch funnel leak: proposed {} != accounted {} \
                  (duplicate {} + filtered {} + overflow {} + issued {} + queued {})",
                 proposed,
@@ -325,7 +326,7 @@ impl SimStats {
                 self.prefetches_queue_overflow.total(),
                 self.prefetches_issued.total(),
                 queue_backlog,
-            ))
+            )))
         }
     }
 
@@ -542,7 +543,8 @@ mod tests {
         assert!(s.check_funnel_conservation(1).is_ok());
         // Wrong backlog: leak reported with the stage breakdown.
         let err = s.check_funnel_conservation(0).unwrap_err();
-        assert!(err.contains("proposed 10"), "{err}");
+        assert_eq!(err.kind(), crate::PpfErrorKind::FunnelViolation);
+        assert!(err.to_string().contains("proposed 10"), "{err}");
     }
 
     #[test]

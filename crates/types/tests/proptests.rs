@@ -125,7 +125,7 @@ proptest! {
         let mut s = balanced_funnel(dup, filt, over, issued, backlog);
         s.prefetches_proposed.by_source[0] += leak;
         let err = s.check_funnel_conservation(backlog).unwrap_err();
-        prop_assert!(err.contains("funnel leak"), "{}", err);
+        prop_assert!(err.to_string().contains("funnel leak"), "{}", err);
         // And the dual: an outcome that was never proposed.
         let mut s = balanced_funnel(dup, filt, over, issued, backlog);
         s.prefetches_issued.by_source[0] += leak;

@@ -1,0 +1,141 @@
+//! Fault injection for exercising the fault-tolerant experiment engine.
+//!
+//! A [`FaultStream`] wraps any [`InstStream`] and behaves identically until
+//! the configured instruction index, then misbehaves in a controlled way:
+//!
+//! * [`FaultMode::PanicAt`] panics inside `next_inst` — the "crashing cell"
+//!   that the grid runner's `catch_unwind` isolation must contain;
+//! * [`FaultMode::HangAt`] stops yielding the wrapped stream and emits an
+//!   endless chain of serially-dependent cold-line loads (page stride, so
+//!   no prefetcher or cache helps). Paired with a pathologically slow
+//!   memory config this wedges the pipeline — the "hung cell" that the
+//!   simulator watchdog's forward-progress detector must abort.
+//!
+//! These streams exist for tests and CI fault drills; the production
+//! workload suite never constructs them.
+
+use ppf_cpu::{Inst, InstStream, Op};
+
+/// What the injected fault does when it trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic inside `next_inst` at the trip point.
+    PanicAt,
+    /// From the trip point on, emit serially-dependent cold-line loads
+    /// forever instead of the wrapped stream.
+    HangAt,
+}
+
+/// A fault to inject into a run: the mode and the instruction index
+/// (0-based, counted over emitted instructions) at which it trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fault behaviour at the trip point.
+    pub mode: FaultMode,
+    /// Instruction index at which the fault trips.
+    pub at: u64,
+}
+
+impl FaultSpec {
+    /// Panic when the `at`-th instruction is requested.
+    pub fn panic_at(at: u64) -> Self {
+        FaultSpec {
+            mode: FaultMode::PanicAt,
+            at,
+        }
+    }
+
+    /// Degenerate into dependent cold loads from the `at`-th instruction.
+    pub fn hang_at(at: u64) -> Self {
+        FaultSpec {
+            mode: FaultMode::HangAt,
+            at,
+        }
+    }
+}
+
+/// Base address of the hang-mode load walk — far above every workload
+/// model's footprint so the lines are guaranteed cold.
+const HANG_BASE: u64 = 0x4000_0000;
+
+/// Stride of the hang-mode load walk (a page, so NSP/stride prefetchers
+/// never cover the next access).
+const HANG_STRIDE: u64 = 4096;
+
+/// An [`InstStream`] wrapper that injects a [`FaultSpec`].
+pub struct FaultStream<S> {
+    inner: S,
+    spec: FaultSpec,
+    emitted: u64,
+}
+
+impl<S> FaultStream<S> {
+    /// Wrap `inner`, injecting `spec`.
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        FaultStream {
+            inner,
+            spec,
+            emitted: 0,
+        }
+    }
+}
+
+impl<S: InstStream> InstStream for FaultStream<S> {
+    fn next_inst(&mut self) -> Inst {
+        let n = self.emitted;
+        self.emitted += 1;
+        if n < self.spec.at {
+            return self.inner.next_inst();
+        }
+        match self.spec.mode {
+            FaultMode::PanicAt => panic!("injected fault: panic at instruction {n}"),
+            FaultMode::HangAt => {
+                let step = n - self.spec.at;
+                let addr = HANG_BASE + step * HANG_STRIDE;
+                // dep=1: each load consumes the previous load's result, so
+                // the chain serializes on full memory latency.
+                Inst::with_dep(HANG_BASE + step * 4, Op::Load { addr }, 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn passes_through_until_trip_point() {
+        let mut clean = Workload::Gzip.stream(9);
+        let mut faulty = FaultStream::new(Workload::Gzip.stream(9), FaultSpec::hang_at(100));
+        for _ in 0..100 {
+            assert_eq!(clean.next_inst(), faulty.next_inst());
+        }
+        // From the trip point the streams diverge into the load walk.
+        let first = faulty.next_inst();
+        assert_eq!(first.op, Op::Load { addr: HANG_BASE });
+        assert_eq!(first.dep, 1);
+    }
+
+    #[test]
+    fn hang_mode_emits_dependent_page_stride_loads() {
+        let mut s = FaultStream::new(Workload::Mcf.stream(1), FaultSpec::hang_at(0));
+        for k in 0..8u64 {
+            let i = s.next_inst();
+            assert_eq!(i.op, Op::Load {
+                addr: HANG_BASE + k * HANG_STRIDE
+            });
+            assert_eq!(i.dep, 1, "loads must serialize");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic at instruction 3")]
+    fn panic_mode_panics_at_the_trip_point() {
+        let mut s = FaultStream::new(Workload::Bh.stream(2), FaultSpec::panic_at(3));
+        for _ in 0..4 {
+            s.next_inst();
+        }
+    }
+}

@@ -26,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod model;
 pub mod patterns;
 pub mod suite;
 pub mod trace;
 
+pub use fault::{FaultMode, FaultSpec, FaultStream};
 pub use model::{MixStream, WorkloadSpec};
 pub use patterns::{PatternKind, PatternSpec, SwPrefetchSpec};
 pub use suite::Workload;
