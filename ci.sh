@@ -1,15 +1,53 @@
 #!/bin/sh
 # The repository's tier-1 gate, runnable locally and from CI.
-# Order matters: the release build is the cheapest smoke signal, the quick
-# test pass is what the roadmap defines as tier-1, and clippy last so a
-# lint never masks a real failure.
+#
+# With no argument every stage runs in order: the release build is the
+# cheapest smoke signal, the quick test pass is what the roadmap defines
+# as tier-1, and lints last so a formatting nit never masks a real
+# failure. CI instead fans the stages out as matrix shards, one stage
+# name per job, so a clippy warning and a test failure surface in the
+# same run.
 set -eux
 
-cargo build --release
-cargo test -q
-cargo clippy --workspace -- -D warnings
+stage="${1:-all}"
 
-# Fault-injection drills again in release mode: panic unwinding, the
-# watchdog and checkpoint resume must also hold under optimized codegen.
-cargo test --release -q --test fault_tolerance
-cargo test --release -q -p ppf-bench --test checkpoint
+build_test() {
+    cargo build --release
+    cargo test -q
+}
+
+lint() {
+    cargo fmt --all -- --check
+    cargo clippy --workspace -- -D warnings
+}
+
+fault_drills() {
+    # Fault-injection drills again in release mode: panic unwinding, the
+    # watchdog and checkpoint resume must also hold under optimized codegen.
+    cargo test --release -q --test fault_tolerance
+    cargo test --release -q -p ppf-bench --test checkpoint
+}
+
+bench_smoke() {
+    # Perf gate: quick throughput run compared against the committed
+    # baseline; exits non-zero if any layer regresses past the threshold.
+    cargo build --release -p ppf-bench
+    ./target/release/bench throughput --quick --no-write \
+        --baseline BENCH_baseline.json
+}
+
+case "$stage" in
+build-test) build_test ;;
+lint) lint ;;
+fault-drills) fault_drills ;;
+bench-smoke) bench_smoke ;;
+all)
+    build_test
+    lint
+    fault_drills
+    ;;
+*)
+    echo "unknown stage: $stage (build-test|lint|fault-drills|bench-smoke|all)" >&2
+    exit 2
+    ;;
+esac

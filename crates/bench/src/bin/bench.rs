@@ -1,0 +1,134 @@
+//! `bench` — simulator performance measurement.
+//!
+//! ```text
+//! bench throughput [--quick] [--out PATH] [--no-write]
+//!                  [--baseline PATH] [--max-regress PCT]
+//! ```
+//!
+//! Runs the pinned-seed workload mix through every model layer
+//! (core / +mem / +prefetch / +filter), prints a per-layer MIPS table and
+//! writes `BENCH_<rev>.json` (override with `--out`, suppress with
+//! `--no-write`). With `--baseline` the run is also diffed against a
+//! committed `BENCH_*.json`; the delta table prints either way and the
+//! exit code is 3 when any layer's MIPS regressed more than
+//! `--max-regress` percent (default 20).
+//!
+//! Exit codes: 0 success, 1 usage or I/O errors, 3 perf regression.
+
+use ppf_bench::throughput;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench throughput [--quick] [--out PATH] [--no-write]\n\
+     \x20                       [--baseline PATH] [--max-regress PCT]";
+
+/// Exit code for "ran fine, but MIPS regressed beyond the threshold".
+const EXIT_REGRESSION: u8 = 3;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("throughput") {
+        match args.first().map(String::as_str) {
+            Some("--help") | Some("-h") => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            Some(other) => eprintln!("unknown subcommand '{other}'\n{USAGE}"),
+            None => eprintln!("no subcommand given\n{USAGE}"),
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut settings = throughput::BenchSettings::full();
+    let mut out: Option<PathBuf> = None;
+    let mut write = true;
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regress = throughput::DEFAULT_MAX_REGRESS_PCT;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => settings = throughput::BenchSettings::quick(),
+            "--no-write" => write = false,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--out needs a path\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--baseline needs a path\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-regress" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(p) if p > 0.0 => max_regress = p,
+                    _ => {
+                        eprintln!("--max-regress needs a positive percentage\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let report = match throughput::run(&settings) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("throughput run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", throughput::render(&report));
+    if write {
+        let path = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", report.rev)));
+        match throughput::store_report(&path, &report) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(base_path) = baseline {
+        let base = match throughput::load_report(&base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cmp = throughput::compare(&base, &report);
+        println!("\nvs baseline {} ({})", base.rev, base_path.display());
+        print!("{}", throughput::render_comparison(&cmp));
+        if cmp.regression_exceeds(max_regress) {
+            eprintln!(
+                "perf regression: worst layer {:.1}% below baseline (threshold -{max_regress:.0}%)",
+                cmp.worst_pct
+            );
+            return ExitCode::from(EXIT_REGRESSION);
+        }
+        println!(
+            "within threshold (worst {:+.1}%, limit -{max_regress:.0}%)",
+            cmp.worst_pct
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::checkpoint;
+use crate::memo;
 use ppf_sim::experiments::{self, CellOutcome, PORT_COUNTS, TABLE_SIZES};
 use ppf_sim::report::{f3, geomean, mean, pct, TextTable};
 use ppf_sim::SimReport;
@@ -213,7 +214,10 @@ pub fn run_experiment_full(
             ablation_summary(r, "Ablation: DRAM banking (memory-level-parallelism limit)")
         }),
         "ablate-hybrid" => run_and(name, experiments::ablations::hybrid(insts), |r| {
-            ablation_summary(r, "Ablation: PA vs PC vs tournament hybrid (same counter budget)")
+            ablation_summary(
+                r,
+                "Ablation: PA vs PC vs tournament hybrid (same counter budget)",
+            )
         }),
         "ablate-mix" => run_and(name, experiments::ablations::prefetcher_mix(insts), |r| {
             ablation_summary(
@@ -293,8 +297,8 @@ fn run_and(
             (run.outcomes, run.loaded, run.executed)
         }
         None => {
-            let outcomes = experiments::run_grid_seeds_outcomes(grid, seeds);
-            (outcomes, 0, total * seeds as usize)
+            let run = memo::run_grid_seeds_memoized(grid, seeds);
+            (run.outcomes, run.hits, run.executed)
         }
     };
     let failed = outcomes.iter().filter(|o| !o.is_ok()).count();

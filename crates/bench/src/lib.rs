@@ -4,3 +4,5 @@
 
 pub mod checkpoint;
 pub mod figures;
+pub mod memo;
+pub mod throughput;

@@ -1,0 +1,119 @@
+//! In-process cell memoization for multi-experiment sweeps.
+//!
+//! The 31 experiments of `figures all` share grids heavily: fig1/fig2
+//! render one grid two ways, fig4–6, fig7–9, fig10–12, fig13/14 and
+//! fig15/16 each share a sweep, and most ablations re-run the paper's
+//! no-filter/PA baseline cells verbatim. A cell is a pure function of its
+//! [`RunSpec`] (the determinism suite asserts exactly this), so within one
+//! process a spec identical to one already completed can reuse the
+//! finished [`SimReport`] instead of re-simulating — same bytes out,
+//! roughly half the cells actually run.
+//!
+//! Keys extend the checkpoint content hash ([`cell_key`]) with the
+//! watchdog bounds (not part of the on-disk key, but they decide whether
+//! a cell errors). Fault-injected cells are never memoized, and failures
+//! are never cached — mirroring the checkpoint layer's "a resume is the
+//! retry the operator asked for".
+
+use crate::checkpoint::cell_key;
+use ppf_sim::experiments::{
+    fan_seeds, merge_seed_outcomes, run_grid_outcomes_observed, CellOutcome, RunSpec,
+};
+use ppf_sim::SimReport;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// The process-wide memo table.
+fn memo() -> &'static Mutex<HashMap<String, SimReport>> {
+    static MEMO: OnceLock<Mutex<HashMap<String, SimReport>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The memo key of a cell, or `None` when the cell must not be memoized
+/// (fault injection is outside the key's identity, so faulted cells
+/// always execute).
+pub fn memo_key(spec: &RunSpec) -> Option<String> {
+    if spec.fault.is_some() {
+        return None;
+    }
+    Some(format!(
+        "{}:{}:{}",
+        cell_key(spec),
+        spec.watchdog.max_cpi,
+        spec.watchdog.stall_window
+    ))
+}
+
+/// The result of one memoized grid execution.
+#[derive(Debug)]
+pub struct MemoizedRun {
+    /// Per-cell outcomes, in input order (seed-merged for the seeds form).
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells served from the in-process memo (not re-run).
+    pub hits: usize,
+    /// Cells actually executed this call.
+    pub executed: usize,
+}
+
+/// Run `specs`, serving any cell whose key was already completed this
+/// process from the memo and executing the rest (which then populate it).
+pub fn run_grid_memoized(specs: Vec<RunSpec>) -> MemoizedRun {
+    let n = specs.len();
+    let mut outcomes: Vec<Option<CellOutcome>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<(usize, RunSpec, Option<String>)> = Vec::new();
+    let mut hits = 0usize;
+    {
+        let table = memo().lock().unwrap_or_else(PoisonError::into_inner);
+        for (idx, spec) in specs.into_iter().enumerate() {
+            match memo_key(&spec) {
+                Some(key) => match table.get(&key) {
+                    Some(report) => {
+                        hits += 1;
+                        outcomes[idx] = Some(CellOutcome::Ok(Box::new(report.clone())));
+                    }
+                    None => pending.push((idx, spec, Some(key))),
+                },
+                None => pending.push((idx, spec, None)),
+            }
+        }
+    }
+    let executed = pending.len();
+    let mut indices = Vec::with_capacity(executed);
+    let mut keys = Vec::with_capacity(executed);
+    let mut to_run = Vec::with_capacity(executed);
+    for (idx, spec, key) in pending {
+        indices.push(idx);
+        keys.push(key);
+        to_run.push(spec);
+    }
+    let ran = run_grid_outcomes_observed(to_run, |i, outcome| {
+        if let (CellOutcome::Ok(report), Some(key)) = (outcome, &keys[i]) {
+            memo()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(key.clone(), (**report).clone());
+        }
+    });
+    for (slot, outcome) in indices.into_iter().zip(ran) {
+        outcomes[slot] = Some(outcome);
+    }
+    MemoizedRun {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every cell served or ran"))
+            .collect(),
+        hits,
+        executed,
+    }
+}
+
+/// The multi-seed form: memoizes the full (cell × seed) fan-out, then
+/// merges outcomes per input cell exactly like `run_grid_seeds`.
+pub fn run_grid_seeds_memoized(specs: Vec<RunSpec>, seeds: u32) -> MemoizedRun {
+    assert!(seeds >= 1);
+    let n = specs.len();
+    let fanned = fan_seeds(&specs, seeds);
+    let mut run = run_grid_memoized(fanned);
+    run.outcomes = merge_seed_outcomes(run.outcomes, n, seeds);
+    run
+}

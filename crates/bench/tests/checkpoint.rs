@@ -173,7 +173,11 @@ fn seed_fanout_checkpoints_every_fanned_cell() {
         || vec![RunSpec::new("s", SystemConfig::paper_default(), Workload::Em3d).instructions(N)];
     let first = run_grid_seeds_checkpointed(grid(), 3, &dir).unwrap();
     assert_eq!((first.loaded, first.executed), (0, 3));
-    assert_eq!(first.outcomes.len(), 1, "outcomes are merged per input cell");
+    assert_eq!(
+        first.outcomes.len(),
+        1,
+        "outcomes are merged per input cell"
+    );
     let merged = first.outcomes[0].report().unwrap();
     assert!(merged.stats.instructions >= 3 * N);
     assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3);

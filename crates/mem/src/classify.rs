@@ -19,7 +19,8 @@
 //! (no data, no timing) and live outside the simulated machine.
 
 use ppf_types::{LineAddr, MissClass};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
 
 /// How a (real-cache) miss would have fared in the shadow structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,48 +44,133 @@ impl MissKind {
     }
 }
 
-/// Fully-associative LRU tag array. Recency is a monotone stamp per line
-/// plus an ordered stamp → line index, giving O(log n) touch/evict without
-/// any unsafe linked-list plumbing; determinism comes for free.
+/// Hasher for the shadow structures' u64 line-number keys: one multiply
+/// plus an xor-shift (Fibonacci hashing). The default SipHash is measurable
+/// in the classify hot path and keys here are simulator-internal line
+/// numbers, so HashDoS hardening buys nothing.
+#[derive(Debug, Default, Clone)]
+struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused here, but required).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type LineHashBuilder = BuildHasherDefault<LineHasher>;
+
+/// Sentinel "no node" index for the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One entry of the fully-associative shadow's recency list.
+#[derive(Debug, Clone, Copy)]
+struct LruNode {
+    line: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Fully-associative LRU tag array: a line → node map plus an intrusive
+/// doubly-linked recency list over a slab, giving O(1) touch/evict. The
+/// list head is the LRU entry, the tail the MRU; eviction order is exactly
+/// true-LRU, so the classification is deterministic.
 #[derive(Debug, Default)]
 struct ShadowLru {
     cap: usize,
-    tick: u64,
-    stamp_of: HashMap<u64, u64>,
-    by_stamp: BTreeMap<u64, u64>,
+    idx_of: HashMap<u64, u32, LineHashBuilder>,
+    nodes: Vec<LruNode>,
+    head: u32,
+    tail: u32,
 }
 
 impl ShadowLru {
     fn new(cap: usize) -> Self {
         ShadowLru {
             cap: cap.max(1),
+            head: NIL,
+            tail: NIL,
             ..Default::default()
         }
+    }
+
+    /// Detach node `i` from the recency list.
+    fn unlink(&mut self, i: u32) {
+        let LruNode { prev, next, .. } = self.nodes[i as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Append node `i` at the MRU end.
+    fn push_tail(&mut self, i: u32) {
+        let tail = self.tail;
+        {
+            let n = &mut self.nodes[i as usize];
+            n.prev = tail;
+            n.next = NIL;
+        }
+        match tail {
+            NIL => self.head = i,
+            t => self.nodes[t as usize].next = i,
+        }
+        self.tail = i;
     }
 
     /// Reference `line`: returns whether it was resident, then makes it the
     /// most recently used entry (evicting the LRU line on overflow).
     fn touch(&mut self, line: u64) -> bool {
-        self.tick += 1;
-        let hit = if let Some(old) = self.stamp_of.insert(line, self.tick) {
-            self.by_stamp.remove(&old);
-            true
-        } else {
-            false
-        };
-        self.by_stamp.insert(self.tick, line);
-        if self.stamp_of.len() > self.cap {
-            let (_, victim) = self.by_stamp.pop_first().expect("over capacity");
-            self.stamp_of.remove(&victim);
+        if let Some(&i) = self.idx_of.get(&line) {
+            if self.tail != i {
+                self.unlink(i);
+                self.push_tail(i);
+            }
+            return true;
         }
-        hit
+        if self.idx_of.len() == self.cap {
+            // Full: recycle the LRU slot for the new line.
+            let i = self.head;
+            let old = self.nodes[i as usize].line;
+            self.idx_of.remove(&old);
+            self.unlink(i);
+            self.nodes[i as usize].line = line;
+            self.push_tail(i);
+            self.idx_of.insert(line, i);
+        } else {
+            let i = u32::try_from(self.nodes.len()).expect("shadow cap fits u32");
+            self.nodes.push(LruNode {
+                line,
+                prev: NIL,
+                next: NIL,
+            });
+            self.push_tail(i);
+            self.idx_of.insert(line, i);
+        }
+        false
     }
 }
 
 /// Shadow structures for one cache level.
 #[derive(Debug)]
 pub struct MissClassifier {
-    seen: HashSet<u64>,
+    seen: HashSet<u64, LineHashBuilder>,
     fa: ShadowLru,
 }
 
@@ -92,7 +178,7 @@ impl MissClassifier {
     /// Shadows for a cache holding `total_lines` lines.
     pub fn new(total_lines: usize) -> Self {
         MissClassifier {
-            seen: HashSet::new(),
+            seen: HashSet::default(),
             fa: ShadowLru::new(total_lines),
         }
     }

@@ -332,8 +332,8 @@ impl Hierarchy {
                 if is_write {
                     self.l1.mark_dirty(line);
                 }
-                let final_evicted = match &l1_evicted {
-                    Some(ev) => self.writeback_from_l1(&ev.clone(), now, stats),
+                let final_evicted = match l1_evicted {
+                    Some(ev) => self.writeback_from_l1(&ev, now, stats),
                     None => None,
                 };
                 return AccessResult {
@@ -358,8 +358,8 @@ impl Hierarchy {
                 if is_write {
                     self.l1.mark_dirty(line);
                 }
-                let final_evicted = match &l1_evicted {
-                    Some(ev) => self.writeback_from_l1(&ev.clone(), now, stats),
+                let final_evicted = match l1_evicted {
+                    Some(ev) => self.writeback_from_l1(&ev, now, stats),
                     None => None,
                 };
                 return AccessResult {
@@ -382,8 +382,8 @@ impl Hierarchy {
         if is_write {
             self.l1.mark_dirty(line);
         }
-        let final_evicted = match &l1_evicted {
-            Some(ev) => self.writeback_from_l1(&ev.clone(), now, stats),
+        let final_evicted = match l1_evicted {
+            Some(ev) => self.writeback_from_l1(&ev, now, stats),
             None => None,
         };
         self.mshr.insert(line, data_at, now);
@@ -440,8 +440,8 @@ impl Hierarchy {
         }
         let l1_evicted = self.l1.fill(req.line, FillKind::Prefetch(origin));
         stats.l1.prefetch_fills += 1;
-        let final_evicted = match &l1_evicted {
-            Some(ev) => self.writeback_from_l1(&ev.clone(), now, stats),
+        let final_evicted = match l1_evicted {
+            Some(ev) => self.writeback_from_l1(&ev, now, stats),
             None => None,
         };
         self.mshr.insert(req.line, data_at, now);
@@ -743,7 +743,12 @@ mod tests {
         // misses everywhere, and LRU in the shadow keeps none of them.
         for pass in 0..2 {
             for n in 0..512u64 {
-                h.demand_access(LineAddr(n * 257), AccessKind::Load, 1 + pass * 10_000 + n, &mut s);
+                h.demand_access(
+                    LineAddr(n * 257),
+                    AccessKind::Load,
+                    1 + pass * 10_000 + n,
+                    &mut s,
+                );
             }
         }
         assert_eq!(s.l1.miss_class.compulsory, 512);

@@ -589,7 +589,12 @@ json_struct!(PrefetchConfig {
     queue_len,
 });
 
-json_unit_enum!(FilterKind { None, Pa, Pc, Hybrid });
+json_unit_enum!(FilterKind {
+    None,
+    Pa,
+    Pc,
+    Hybrid
+});
 
 json_unit_enum!(CounterInit {
     WeaklyGood,

@@ -177,7 +177,10 @@ mod tests {
             PpfErrorKind::ForwardProgressStall.label(),
             "forward-progress-stall"
         );
-        assert_eq!(PpfErrorKind::CheckpointCorrupt.label(), "checkpoint-corrupt");
+        assert_eq!(
+            PpfErrorKind::CheckpointCorrupt.label(),
+            "checkpoint-corrupt"
+        );
     }
 
     #[test]

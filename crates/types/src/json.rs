@@ -39,9 +39,7 @@ impl JsonValue {
     /// Object field lookup; `None` for non-objects or missing keys.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -63,9 +61,7 @@ impl JsonValue {
         match *self {
             JsonValue::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
             JsonValue::Int(v) => Some(v),
-            JsonValue::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => {
-                Some(f as i64)
-            }
+            JsonValue::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
             _ => None,
         }
     }
@@ -247,10 +243,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -336,9 +329,8 @@ impl Parser<'_> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err("truncated \\u escape".into());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             self.pos += 4;
@@ -533,7 +525,8 @@ impl ToJson for f64 {
 
 impl FromJson for f64 {
     fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
-        v.as_f64().ok_or_else(|| format!("expected number, got {v}"))
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {v}"))
     }
 }
 
@@ -601,10 +594,7 @@ impl<T: FromJson + Default + Copy, const N: usize> FromJson for [T; N] {
         match v {
             JsonValue::Array(items) => {
                 if items.len() != N {
-                    return Err(format!(
-                        "expected array of length {N}, got {}",
-                        items.len()
-                    ));
+                    return Err(format!("expected array of length {N}, got {}", items.len()));
                 }
                 let mut out = [T::default(); N];
                 for (slot, item) in out.iter_mut().zip(items) {

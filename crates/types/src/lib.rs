@@ -21,12 +21,12 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, Cycle, LineAddr, Pc};
-pub use error::{PpfError, PpfErrorKind};
-pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use config::{
     BranchConfig, BufferConfig, CacheConfig, CoreConfig, CounterInit, DiagnosticsConfig,
     FilterConfig, FilterKind, MemConfig, PrefetchConfig, SystemConfig, VictimConfig,
 };
+pub use error::{PpfError, PpfErrorKind};
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use prefetch::{PrefetchOrigin, PrefetchRequest, PrefetchSource};
 pub use rng::SplitMix64;
 pub use stats::{CacheStats, MissClass, PerSource, SimStats};

@@ -59,7 +59,12 @@ impl PrefetchSource {
     }
 }
 
-json_unit_enum!(PrefetchSource { Nsp, Sdp, Stride, Software });
+json_unit_enum!(PrefetchSource {
+    Nsp,
+    Sdp,
+    Stride,
+    Software
+});
 
 /// A candidate prefetch emitted by a generator, before filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

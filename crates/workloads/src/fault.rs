@@ -123,9 +123,12 @@ mod tests {
         let mut s = FaultStream::new(Workload::Mcf.stream(1), FaultSpec::hang_at(0));
         for k in 0..8u64 {
             let i = s.next_inst();
-            assert_eq!(i.op, Op::Load {
-                addr: HANG_BASE + k * HANG_STRIDE
-            });
+            assert_eq!(
+                i.op,
+                Op::Load {
+                    addr: HANG_BASE + k * HANG_STRIDE
+                }
+            );
             assert_eq!(i.dep, 1, "loads must serialize");
         }
     }

@@ -37,8 +37,7 @@ fn grid_survives_panicking_and_wedged_cells() {
     let grid: Vec<RunSpec> = Workload::ALL
         .iter()
         .map(|&w| {
-            let spec =
-                RunSpec::new("drill", SystemConfig::paper_default(), w).instructions(N);
+            let spec = RunSpec::new("drill", SystemConfig::paper_default(), w).instructions(N);
             if w == panic_victim {
                 spec.with_fault(FaultSpec::panic_at(1_000))
             } else if w == hang_victim {
@@ -51,11 +50,7 @@ fn grid_survives_panicking_and_wedged_cells() {
             }
         })
         .collect();
-    let clean: Vec<RunSpec> = grid
-        .iter()
-        .filter(|s| s.fault.is_none())
-        .cloned()
-        .collect();
+    let clean: Vec<RunSpec> = grid.iter().filter(|s| s.fault.is_none()).cloned().collect();
 
     let outcomes = run_grid_outcomes(grid);
     assert_eq!(outcomes.len(), 10);
@@ -66,7 +61,10 @@ fn grid_survives_panicking_and_wedged_cells() {
     let panic_failure = outcomes[2].failure().expect("panic cell failed");
     assert_eq!(panic_failure.error.kind, PpfErrorKind::CellPanic);
     assert_eq!(panic_failure.workload, panic_victim.name());
-    assert_eq!(panic_failure.attempts, 2, "deterministic failure retried once");
+    assert_eq!(
+        panic_failure.attempts, 2,
+        "deterministic failure retried once"
+    );
     assert!(
         panic_failure.error.message.contains("injected fault"),
         "panic payload preserved: {}",
@@ -88,7 +86,11 @@ fn grid_survives_panicking_and_wedged_cells() {
     assert_eq!(survivors.len(), clean_reports.len());
     for (s, c) in survivors.iter().zip(clean_reports.iter()) {
         assert_eq!(s.workload, c.workload);
-        assert_eq!(s.stats, c.stats, "fault isolation must not perturb {}", c.workload);
+        assert_eq!(
+            s.stats, c.stats,
+            "fault isolation must not perturb {}",
+            c.workload
+        );
     }
 }
 
@@ -160,8 +162,8 @@ fn fanned_seeds_are_pairwise_distinct() {
 /// its healthy neighbours still merge normally.
 #[test]
 fn seed_fanout_propagates_cell_failure() {
-    let healthy = RunSpec::new("seeds", SystemConfig::paper_default(), Workload::Gzip)
-        .instructions(N);
+    let healthy =
+        RunSpec::new("seeds", SystemConfig::paper_default(), Workload::Gzip).instructions(N);
     let faulty = RunSpec::new("seeds", SystemConfig::paper_default(), Workload::Mcf)
         .instructions(N)
         .with_fault(FaultSpec::panic_at(500));
