@@ -26,11 +26,20 @@ fault_drills() {
     # watchdog and checkpoint resume must also hold under optimized codegen.
     cargo test --release -q --test fault_tolerance
     cargo test --release -q -p ppf-bench --test checkpoint
+    # Telemetry smoke: one instrumented cell through the release binary
+    # must leave at least one valid JSONL interval record behind.
+    cargo build --release -p ppf-bench
+    tdir="$(mktemp -d)"
+    ./target/release/figures --insts 20000 --telemetry "$tdir" fig2 > /dev/null
+    head -n 1 "$tdir"/fig2/*.jsonl | grep -q '"fraction_good"'
+    rm -rf "$tdir"
 }
 
 bench_smoke() {
     # Perf gate: quick throughput run compared against the committed
     # baseline; exits non-zero if any layer regresses past the threshold.
+    # Telemetry is off here (as everywhere by default), so this same gate
+    # bounds the cost of the telemetry-off hot path.
     cargo build --release -p ppf-bench
     ./target/release/bench throughput --quick --no-write \
         --baseline BENCH_baseline.json

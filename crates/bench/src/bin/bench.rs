@@ -1,11 +1,13 @@
-//! `bench` — simulator performance measurement.
+//! `bench` — simulator performance measurement and time-series inspection.
 //!
 //! ```text
 //! bench throughput [--quick] [--out PATH] [--no-write]
 //!                  [--baseline PATH] [--max-regress PCT]
+//! bench timeline [WORKLOAD] [--filter PA|PC|hybrid|none] [--insts N]
+//!                [--interval CYCLES] [--seed S] [--json]
 //! ```
 //!
-//! Runs the pinned-seed workload mix through every model layer
+//! `throughput` runs the pinned-seed workload mix through every model layer
 //! (core / +mem / +prefetch / +filter), prints a per-layer MIPS table and
 //! writes `BENCH_<rev>.json` (override with `--out`, suppress with
 //! `--no-write`). With `--baseline` the run is also diffed against a
@@ -13,20 +15,124 @@
 //! exit code is 3 when any layer's MIPS regressed more than
 //! `--max-regress` percent (default 20).
 //!
+//! `timeline` runs one cold (no warm-up) cell with interval telemetry and
+//! renders the filter's warm-up curve — `fraction_good` leaving its
+//! weakly-good init, the transient bad-prefetch burst, and the interval at
+//! which the history table stabilizes. `--json` emits the full record
+//! series plus analysis as one JSON document instead of the table.
+//!
 //! Exit codes: 0 success, 1 usage or I/O errors, 3 perf regression.
 
-use ppf_bench::throughput;
+use ppf_bench::{throughput, timeline};
+use ppf_types::{FilterKind, ToJson};
+use ppf_workloads::Workload;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench throughput [--quick] [--out PATH] [--no-write]\n\
-     \x20                       [--baseline PATH] [--max-regress PCT]";
+     \x20                       [--baseline PATH] [--max-regress PCT]\n\
+     \x20      bench timeline [WORKLOAD] [--filter PA|PC|hybrid|none] [--insts N]\n\
+     \x20                     [--interval CYCLES] [--seed S] [--json]";
 
 /// Exit code for "ran fine, but MIPS regressed beyond the threshold".
 const EXIT_REGRESSION: u8 = 3;
 
+fn parse_filter(name: &str) -> Option<FilterKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "none" => Some(FilterKind::None),
+        "pa" => Some(FilterKind::Pa),
+        "pc" => Some(FilterKind::Pc),
+        "hybrid" => Some(FilterKind::Hybrid),
+        _ => None,
+    }
+}
+
+fn timeline_main(args: &[String]) -> ExitCode {
+    let mut settings = timeline::TimelineSettings::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--filter" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_filter(s)) {
+                    Some(kind) => settings.filter = kind,
+                    None => {
+                        eprintln!("--filter needs one of PA|PC|hybrid|none\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--insts" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => settings.insts = n,
+                    _ => {
+                        eprintln!("--insts needs a positive number\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--interval" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => settings.interval_cycles = n,
+                    _ => {
+                        eprintln!("--interval needs a positive cycle count\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => settings.seed = n,
+                    None => {
+                        eprintln!("--seed needs a number\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown argument '{flag}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            name => match Workload::from_name(name) {
+                Some(w) => settings.workload = w,
+                None => {
+                    eprintln!("unknown workload '{name}'");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        i += 1;
+    }
+    match timeline::run(&settings) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json_pretty());
+            } else {
+                print!("{}", timeline::render(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("timeline failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("timeline") {
+        return timeline_main(&args[1..]);
+    }
     if args.first().map(String::as_str) != Some("throughput") {
         match args.first().map(String::as_str) {
             Some("--help") | Some("-h") => {

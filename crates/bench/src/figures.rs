@@ -14,9 +14,10 @@ use crate::checkpoint;
 use crate::memo;
 use ppf_sim::experiments::{self, CellOutcome, PORT_COUNTS, TABLE_SIZES};
 use ppf_sim::report::{f3, geomean, mean, pct, TextTable};
-use ppf_sim::SimReport;
-use ppf_types::PpfError;
-use ppf_workloads::Workload;
+use ppf_sim::{CellFailure, SimReport};
+use ppf_types::telemetry::TelemetryConfig;
+use ppf_types::{json_struct, PpfError};
+use ppf_workloads::{FaultSpec, Workload};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -66,6 +67,14 @@ pub struct ExperimentOptions {
     /// Checkpoint/resume directory: completed cells are persisted under
     /// `<dir>/<experiment>/` and reloaded on the next invocation.
     pub checkpoint: Option<PathBuf>,
+    /// Interval-telemetry directory: every cell streams its per-interval
+    /// records to `<dir>/<experiment>/<cell>.jsonl` (default sampling
+    /// interval; telemetry stays off when `None`).
+    pub telemetry: Option<PathBuf>,
+    /// Fault drill: inject a panic at this instruction into the first cell
+    /// of every grid (CI and tests only — exercises the partial-results
+    /// path end to end through the binary).
+    pub inject_fault: Option<u64>,
 }
 
 impl Default for ExperimentOptions {
@@ -74,6 +83,8 @@ impl Default for ExperimentOptions {
             seeds: 1,
             json_dir: None,
             checkpoint: None,
+            telemetry: None,
+            inject_fault: None,
         }
     }
 }
@@ -93,6 +104,9 @@ pub struct ExperimentOutput {
     pub loaded_cells: usize,
     /// Raw (cell × seed) runs executed this invocation.
     pub executed_cells: usize,
+    /// Structured failures of the cells counted in `failed_cells` (the
+    /// machine-readable form of the text appendix).
+    pub failures: Vec<CellFailure>,
 }
 
 impl ExperimentOutput {
@@ -119,7 +133,7 @@ pub fn run_experiment_seeds(
     let opts = ExperimentOptions {
         seeds,
         json_dir: json_dir.map(str::to_string),
-        checkpoint: None,
+        ..ExperimentOptions::default()
     };
     run_experiment_full(name, insts, &opts)
         .map(|out| out.body)
@@ -138,6 +152,8 @@ pub fn run_experiment_full(
         *c.borrow_mut() = RunContext {
             seeds: opts.seeds.max(1),
             checkpoint: opts.checkpoint.clone(),
+            telemetry: opts.telemetry.clone(),
+            inject_fault: opts.inject_fault,
             counts: CellCounts::default(),
         }
     });
@@ -150,6 +166,7 @@ pub fn run_experiment_full(
                 failed_cells: 0,
                 loaded_cells: 0,
                 executed_cells: 0,
+                failures: Vec::new(),
             });
         }
         "table2" => run_and(name, experiments::table2(insts), table2),
@@ -230,23 +247,52 @@ pub fn run_experiment_full(
         ))),
     };
     let (title, reports, body) = dispatched?;
+    let counts = CTX.with(|c| c.borrow().counts.clone());
     if let Some(dir) = &opts.json_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| PpfError::io(e.to_string()).context(format!("creating json dir {dir}")))?;
         let path = format!("{dir}/{title}.json");
-        let json = ppf_types::ToJson::to_json_pretty(&reports);
+        // One self-describing document per experiment: reports of the
+        // surviving cells plus structured failures — so a partial run
+        // still dumps machine-parseable JSON instead of a bare array
+        // missing rows with no explanation.
+        let doc = ExperimentDoc {
+            experiment: title.clone(),
+            reports,
+            failures: counts.failures.clone(),
+        };
+        let json = ppf_types::ToJson::to_json_pretty(&doc);
         std::fs::write(&path, json)
             .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {path}")))?;
     }
-    let counts = CTX.with(|c| c.borrow().counts.clone());
     Ok(ExperimentOutput {
         body,
         total_cells: counts.total,
         failed_cells: counts.failed,
         loaded_cells: counts.loaded,
         executed_cells: counts.executed,
+        failures: counts.failures,
     })
 }
+
+/// The on-disk JSON document `figures --json` writes per experiment:
+/// surviving reports plus the structured failures of any cells that did
+/// not complete (empty on a fully green run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentDoc {
+    /// Experiment name (matches the filename stem).
+    pub experiment: String,
+    /// Reports of the cells that completed.
+    pub reports: Vec<SimReport>,
+    /// Structured failures of the cells that did not.
+    pub failures: Vec<CellFailure>,
+}
+
+json_struct!(ExperimentDoc {
+    experiment,
+    reports,
+    failures,
+});
 
 /// Cell accounting accumulated over one `run_experiment_full` invocation.
 #[derive(Debug, Clone, Default)]
@@ -255,6 +301,7 @@ struct CellCounts {
     failed: usize,
     loaded: usize,
     executed: usize,
+    failures: Vec<CellFailure>,
 }
 
 /// Per-invocation context for the current experiment — thread-local
@@ -263,6 +310,8 @@ struct CellCounts {
 struct RunContext {
     seeds: u32,
     checkpoint: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    inject_fault: Option<u64>,
     counts: CellCounts,
 }
 
@@ -270,6 +319,8 @@ thread_local! {
     static CTX: std::cell::RefCell<RunContext> = std::cell::RefCell::new(RunContext {
         seeds: 1,
         checkpoint: None,
+        telemetry: None,
+        inject_fault: None,
         counts: CellCounts::default(),
     });
 }
@@ -280,13 +331,32 @@ thread_local! {
 /// holes); the reports vector then carries the surviving cells only.
 fn run_and(
     name: &str,
-    grid: Vec<experiments::RunSpec>,
+    mut grid: Vec<experiments::RunSpec>,
     format: impl Fn(&[SimReport]) -> String,
 ) -> Result<(String, Vec<SimReport>, String), PpfError> {
-    let (seeds, ckpt) = CTX.with(|c| {
+    let (seeds, ckpt, telemetry, inject_fault) = CTX.with(|c| {
         let c = c.borrow();
-        (c.seeds, c.checkpoint.clone())
+        (
+            c.seeds,
+            c.checkpoint.clone(),
+            c.telemetry.clone(),
+            c.inject_fault,
+        )
     });
+    if let Some(base) = &telemetry {
+        let dir = base.join(name);
+        for spec in &mut grid {
+            spec.telemetry = Some(experiments::TelemetrySpec {
+                config: TelemetryConfig::every(ppf_types::telemetry::DEFAULT_INTERVAL_CYCLES),
+                dir: dir.clone(),
+            });
+        }
+    }
+    if let Some(at) = inject_fault {
+        if let Some(first) = grid.first_mut() {
+            first.fault = Some(FaultSpec::panic_at(at));
+        }
+    }
     let total = grid.len();
     let (outcomes, loaded, executed) = match ckpt {
         Some(dir) => {
@@ -308,6 +378,9 @@ fn run_and(
         c.counts.failed += failed;
         c.counts.loaded += loaded;
         c.counts.executed += executed;
+        c.counts
+            .failures
+            .extend(outcomes.iter().filter_map(CellOutcome::failure).cloned());
     });
     let reports: Vec<SimReport> = outcomes
         .iter()
@@ -350,8 +423,15 @@ fn partial_results(name: &str, outcomes: &[CellOutcome]) -> String {
         }
     }
     out.push_str(&t.render());
-    let _ = writeln!(out, "failed cells:");
-    for f in outcomes.iter().filter_map(CellOutcome::failure) {
+    out
+}
+
+/// The human-readable appendix for failed cells. Kept out of the rendered
+/// body (which goes to stdout) so `figures --json`-style machine consumers
+/// can parse stdout while the diagnostics land on stderr.
+pub fn failure_appendix(failures: &[CellFailure]) -> String {
+    let mut out = String::from("failed cells:\n");
+    for f in failures {
         let _ = writeln!(
             out,
             "  {}/{} seed {} ({} attempts): {}",

@@ -6,3 +6,4 @@ pub mod checkpoint;
 pub mod figures;
 pub mod memo;
 pub mod throughput;
+pub mod timeline;

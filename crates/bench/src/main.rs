@@ -1,7 +1,8 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures [--insts N] [--seeds K] [--json DIR] [--checkpoint DIR] <experiment>...
+//! figures [--insts N] [--seeds K] [--json DIR] [--checkpoint DIR]
+//!         [--telemetry DIR] <experiment>...
 //! figures all
 //! figures --list
 //! ```
@@ -12,18 +13,21 @@
 //! paper's figure, plus the mean the paper quotes in its prose. With
 //! `--json DIR` the raw reports are also written as JSON. With
 //! `--checkpoint DIR` every completed cell is persisted and a re-run
-//! resumes, executing only missing or previously failed cells.
+//! resumes, executing only missing or previously failed cells. With
+//! `--telemetry DIR` every cell streams per-interval metrics to
+//! `DIR/<experiment>/<cell>.jsonl`.
 //!
 //! Exit codes: 0 on success, 1 on usage or I/O errors (nothing runs on a
-//! bad invocation), 2 when the sweep completed but some cells failed
-//! (their errors are listed in the output's failure appendix).
+//! bad invocation), 2 when the sweep completed but some cells failed.
+//! Tables go to stdout; the per-cell failure appendix goes to stderr, so
+//! stdout stays machine-parseable even on a partial run.
 
 use ppf_bench::figures::{self, ExperimentOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: figures [--insts N] [--seeds K] [--json DIR] [--checkpoint DIR] <experiment>...\n\
+const USAGE: &str = "usage: figures [--insts N] [--seeds K] [--json DIR] [--checkpoint DIR] \
+     [--telemetry DIR] [--inject-fault N] <experiment>...\n\
      \x20      figures --list";
 
 /// Exit code for "the sweep ran, but some cells failed".
@@ -82,6 +86,26 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--telemetry" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => opts.telemetry = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("--telemetry needs a directory\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--inject-fault" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => opts.inject_fault = Some(n),
+                    None => {
+                        eprintln!("--inject-fault needs an instruction number\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 for name in figures::EXPERIMENTS {
                     println!("{name}");
@@ -126,6 +150,10 @@ fn main() -> ExitCode {
         match figures::run_experiment_full(name, insts, &opts) {
             Ok(out) => {
                 println!("{}", out.body);
+                if !out.failures.is_empty() {
+                    // Diagnostics to stderr: stdout must stay parseable.
+                    eprint!("{}", figures::failure_appendix(&out.failures));
+                }
                 if opts.checkpoint.is_some() && out.loaded_cells + out.executed_cells > 0 {
                     eprintln!(
                         "[{name}] checkpoint: {} cell runs reloaded, {} executed",

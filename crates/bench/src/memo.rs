@@ -29,11 +29,13 @@ fn memo() -> &'static Mutex<HashMap<String, SimReport>> {
     MEMO.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// The memo key of a cell, or `None` when the cell must not be memoized
-/// (fault injection is outside the key's identity, so faulted cells
-/// always execute).
+/// The memo key of a cell, or `None` when the cell must not be memoized.
+/// Fault injection and telemetry streaming are outside the key's identity
+/// (neither changes the report's bytes, but a faulted cell must always
+/// execute and a telemetry cell must always write its side-channel stream),
+/// so both run unconditionally.
 pub fn memo_key(spec: &RunSpec) -> Option<String> {
-    if spec.fault.is_some() {
+    if spec.fault.is_some() || spec.telemetry.is_some() {
         return None;
     }
     Some(format!(

@@ -1,0 +1,364 @@
+//! `bench timeline` — render a filter warm-up curve from interval telemetry.
+//!
+//! End-of-run tables answer "how good is the trained filter"; this module
+//! answers "how fast does it get there". It runs one instrumented cell with
+//! **no warm-up** (the transient is the whole point), collects the interval
+//! records, and derives a [`WarmupAnalysis`]: where `fraction_good` leaves
+//! its weakly-good 1.0 init, when it stabilizes, and how large the
+//! bad-prefetch burst is before the history table converges — the §4
+//! training dynamics the paper describes but never plots.
+
+use ppf_sim::Simulator;
+use ppf_types::json_struct;
+use ppf_types::telemetry::{IntervalRecord, TelemetryConfig};
+use ppf_types::{FilterKind, PpfError, SystemConfig};
+use ppf_workloads::Workload;
+
+use ppf_sim::report::{f3, TextTable};
+
+/// Convergence band: `fraction_good` counts as stable once every later
+/// sample stays within this distance of the final value.
+pub const STABLE_EPSILON: f64 = 0.02;
+
+/// Maximum table rows rendered (the full series is always in `--json`).
+const MAX_ROWS: usize = 40;
+
+/// One `bench timeline` invocation, fully specified.
+#[derive(Debug, Clone)]
+pub struct TimelineSettings {
+    /// Benchmark to trace.
+    pub workload: Workload,
+    /// Pollution filter under observation.
+    pub filter: FilterKind,
+    /// Instructions to run (from a cold machine — no warm-up phase).
+    pub insts: u64,
+    /// Telemetry sampling interval in cycles.
+    pub interval_cycles: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for TimelineSettings {
+    fn default() -> Self {
+        TimelineSettings {
+            workload: Workload::Em3d,
+            filter: FilterKind::Pa,
+            insts: 400_000,
+            interval_cycles: 5_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Warm-up shape derived from an interval series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmupAnalysis {
+    /// `fraction_good` of the first interval (≈1.0 under weakly-good init).
+    pub start_fraction_good: f64,
+    /// `fraction_good` of the last interval.
+    pub final_fraction_good: f64,
+    /// Did the series settle into the ±[`STABLE_EPSILON`] band at all?
+    pub converged: bool,
+    /// First interval from which every sample stays within the band.
+    pub intervals_to_stable: u64,
+    /// The same boundary in cycles.
+    pub cycles_to_stable: u64,
+    /// Interval with the most bad-classified prefetches (the transient
+    /// burst the filter exists to suppress).
+    pub peak_bad_interval: u64,
+    /// Bad prefetches in that peak interval.
+    pub peak_bad_count: u64,
+    /// Bad prefetches per interval before the stable boundary.
+    pub bad_rate_before_stable: f64,
+    /// Bad prefetches per interval from the boundary on.
+    pub bad_rate_after_stable: f64,
+}
+
+json_struct!(WarmupAnalysis {
+    start_fraction_good,
+    final_fraction_good,
+    converged,
+    intervals_to_stable,
+    cycles_to_stable,
+    peak_bad_interval,
+    peak_bad_count,
+    bad_rate_before_stable,
+    bad_rate_after_stable,
+});
+
+/// The full timeline result: the interval series plus its analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineReport {
+    /// Benchmark name.
+    pub workload: String,
+    /// Filter label ("PA", "PC", ...).
+    pub filter: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Sampling interval in cycles.
+    pub interval_cycles: u64,
+    /// The interval series, in order.
+    pub records: Vec<IntervalRecord>,
+    /// Warm-up shape derived from the series.
+    pub analysis: WarmupAnalysis,
+}
+
+json_struct!(TimelineReport {
+    workload,
+    filter,
+    seed,
+    interval_cycles,
+    records,
+    analysis,
+});
+
+/// Derive the warm-up shape from an interval series (at least one record).
+pub fn analyze(records: &[IntervalRecord]) -> WarmupAnalysis {
+    assert!(!records.is_empty(), "no intervals to analyze");
+    let final_fg = records[records.len() - 1].fraction_good;
+    // First index from which *every* later sample stays in the band —
+    // scanned backwards so a late excursion pushes the boundary out.
+    let mut stable_from = records.len() - 1;
+    for i in (0..records.len()).rev() {
+        if (records[i].fraction_good - final_fg).abs() <= STABLE_EPSILON {
+            stable_from = i;
+        } else {
+            break;
+        }
+    }
+    let converged = (records[stable_from].fraction_good - final_fg).abs() <= STABLE_EPSILON;
+    let (peak_idx, peak) = records
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.prefetch_bad)
+        .expect("nonempty");
+    let rate = |slice: &[IntervalRecord]| {
+        if slice.is_empty() {
+            0.0
+        } else {
+            slice.iter().map(|r| r.prefetch_bad).sum::<u64>() as f64 / slice.len() as f64
+        }
+    };
+    WarmupAnalysis {
+        start_fraction_good: records[0].fraction_good,
+        final_fraction_good: final_fg,
+        converged,
+        intervals_to_stable: records[stable_from].interval,
+        cycles_to_stable: records[stable_from].start_cycle,
+        peak_bad_interval: records[peak_idx].interval,
+        peak_bad_count: peak.prefetch_bad,
+        bad_rate_before_stable: rate(&records[..stable_from]),
+        bad_rate_after_stable: rate(&records[stable_from..]),
+    }
+}
+
+/// Run the instrumented cell and build the report.
+pub fn run(settings: &TimelineSettings) -> Result<TimelineReport, PpfError> {
+    let cfg = SystemConfig::paper_default().with_filter(settings.filter);
+    let mut sim = Simulator::with_seed(
+        cfg,
+        Box::new(settings.workload.stream(settings.seed)),
+        settings.seed,
+    )?
+    .labeled(
+        format!("timeline-{}", settings.filter.label()),
+        settings.workload.name(),
+    )
+    .with_telemetry(&TelemetryConfig::every(settings.interval_cycles))?;
+    // Deliberately no warm-up: interval 0 starts at the cold machine, so
+    // the filter's weakly-good transient is on the curve.
+    sim.run_checked(settings.insts)?;
+    let records = sim.take_telemetry_records();
+    if records.is_empty() {
+        return Err(PpfError::config_invalid(format!(
+            "run too short for interval telemetry: no interval of {} cycles \
+             completed — lower --interval or raise --insts",
+            settings.interval_cycles
+        )));
+    }
+    let analysis = analyze(&records);
+    Ok(TimelineReport {
+        workload: settings.workload.name().to_string(),
+        filter: settings.filter.label().to_string(),
+        seed: settings.seed,
+        interval_cycles: settings.interval_cycles,
+        records,
+        analysis,
+    })
+}
+
+/// Render the timeline as an aligned text table plus a warm-up summary.
+/// Long series are downsampled to ~[`MAX_ROWS`] rows; `--json` always
+/// carries every record.
+pub fn render(report: &TimelineReport) -> String {
+    let mut out = format!(
+        "== timeline: {} / {} filter, {} cycles per interval, seed {} ==\n",
+        report.workload, report.filter, report.interval_cycles, report.seed
+    );
+    let mut t = TextTable::new(vec![
+        "interval",
+        "cycles",
+        "IPC",
+        "L1 miss",
+        "issued",
+        "filtered",
+        "good",
+        "bad",
+        "frac-good",
+        "bus",
+    ]);
+    let step = report.records.len().div_ceil(MAX_ROWS);
+    for r in report.records.iter().step_by(step.max(1)) {
+        t.row(vec![
+            r.interval.to_string(),
+            format!("{}..{}", r.start_cycle, r.end_cycle),
+            f3(r.ipc),
+            f3(r.l1_miss_rate),
+            r.prefetch_issued.total().to_string(),
+            r.prefetch_filtered.total().to_string(),
+            r.prefetch_good.to_string(),
+            r.prefetch_bad.to_string(),
+            f3(r.fraction_good),
+            f3(r.bus_occupancy),
+        ]);
+    }
+    out.push_str(&t.render());
+    if step > 1 {
+        out.push_str(&format!(
+            "({} of {} intervals shown; --json carries all)\n",
+            report.records.len().div_ceil(step),
+            report.records.len()
+        ));
+    }
+    let a = &report.analysis;
+    out.push_str(&format!(
+        "warm-up: fraction_good {} -> {} ({})\n",
+        f3(a.start_fraction_good),
+        f3(a.final_fraction_good),
+        if a.converged {
+            format!(
+                "stable within ±{STABLE_EPSILON} from interval {} (cycle {})",
+                a.intervals_to_stable, a.cycles_to_stable
+            )
+        } else {
+            "not yet stable — raise --insts".to_string()
+        },
+    ));
+    out.push_str(&format!(
+        "bad-prefetch burst: peak {} in interval {}; {} bad/interval before \
+         stability vs {} after\n",
+        a.peak_bad_count,
+        a.peak_bad_interval,
+        f3(a.bad_rate_before_stable),
+        f3(a.bad_rate_after_stable),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_types::json::{FromJson, ToJson};
+    use ppf_types::stats::PerSource;
+
+    fn rec(interval: u64, fraction_good: f64, bad: u64) -> IntervalRecord {
+        IntervalRecord {
+            interval,
+            start_cycle: interval * 100,
+            end_cycle: (interval + 1) * 100,
+            instructions: 120,
+            ipc: 1.2,
+            l1_miss_rate: 0.1,
+            prefetch_issued: PerSource::default(),
+            prefetch_filtered: PerSource::default(),
+            prefetch_dropped: PerSource::default(),
+            prefetch_good: 5,
+            prefetch_bad: bad,
+            fraction_good,
+            bus_occupancy: 0.3,
+            mshr_live: 1,
+            queue_backlog: 0,
+        }
+    }
+
+    #[test]
+    fn analyze_finds_convergence_boundary() {
+        let records = vec![
+            rec(0, 1.0, 40),
+            rec(1, 0.9, 30),
+            rec(2, 0.8, 10),
+            rec(3, 0.79, 2),
+            rec(4, 0.80, 1),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.start_fraction_good, 1.0);
+        assert_eq!(a.final_fraction_good, 0.80);
+        assert!(a.converged);
+        assert_eq!(a.intervals_to_stable, 2);
+        assert_eq!(a.cycles_to_stable, 200);
+        assert_eq!(a.peak_bad_interval, 0);
+        assert_eq!(a.peak_bad_count, 40);
+        assert!(a.bad_rate_before_stable > a.bad_rate_after_stable);
+    }
+
+    #[test]
+    fn analyze_flat_series_is_stable_from_the_start() {
+        let records = vec![rec(0, 0.9, 3), rec(1, 0.9, 3), rec(2, 0.9, 3)];
+        let a = analyze(&records);
+        assert!(a.converged);
+        assert_eq!(a.intervals_to_stable, 0);
+        assert_eq!(a.bad_rate_before_stable, 0.0);
+    }
+
+    #[test]
+    fn timeline_run_is_deterministic_and_shows_warmup() {
+        let settings = TimelineSettings::default();
+        let a = run(&settings).expect("timeline runs");
+        let b = run(&settings).expect("timeline runs");
+        assert_eq!(a, b, "pinned seed => identical series");
+        assert!(!a.records.is_empty());
+        // The weakly-good init: the curve starts at (or near) 1.0 and
+        // decays as bad prefetches train the history table.
+        assert!(a.analysis.start_fraction_good > 0.99);
+        assert!(a.analysis.final_fraction_good < a.analysis.start_fraction_good);
+    }
+
+    #[test]
+    fn timeline_report_json_round_trips() {
+        let settings = TimelineSettings {
+            insts: 60_000,
+            ..TimelineSettings::default()
+        };
+        let report = run(&settings).expect("timeline runs");
+        let back = TimelineReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn too_short_run_is_a_structured_error() {
+        let settings = TimelineSettings {
+            insts: 10,
+            interval_cycles: 1_000_000,
+            ..TimelineSettings::default()
+        };
+        let err = run(&settings).unwrap_err();
+        assert!(err.message.contains("no interval"), "{err}");
+    }
+
+    #[test]
+    fn render_downsamples_long_series() {
+        let records: Vec<IntervalRecord> = (0..200).map(|i| rec(i, 0.9, 1)).collect();
+        let report = TimelineReport {
+            workload: "em3d".to_string(),
+            filter: "PA".to_string(),
+            seed: 42,
+            interval_cycles: 100,
+            analysis: analyze(&records),
+            records,
+        };
+        let text = render(&report);
+        assert!(text.lines().count() < 60, "downsampled: {}", text.len());
+        assert!(text.contains("intervals shown"));
+        assert!(text.contains("warm-up: fraction_good"));
+    }
+}

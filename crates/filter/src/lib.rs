@@ -210,6 +210,25 @@ impl PollutionFilter {
             + self.chooser_entries().unwrap_or(0)
     }
 
+    /// Entries-weighted fraction of component-table counters currently
+    /// predicting "good" — the telemetry gauge for filter convergence. All
+    /// counters start weakly-good (§4), so this begins at 1.0 and decays as
+    /// PIB/RIB evictions train entries bad; the curve flattening out is the
+    /// filter reaching steady state. The hybrid chooser is excluded: it
+    /// predicts *which table* to trust, not whether a prefetch is good.
+    pub fn fraction_good(&self) -> f64 {
+        let total: usize = self.tables.iter().map(HistoryTable::entries).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let good: f64 = self
+            .tables
+            .iter()
+            .map(|t| t.fraction_good() * t.entries() as f64)
+            .sum();
+        good / total as f64
+    }
+
     #[inline]
     fn table_idx(&self, source: PrefetchSource) -> usize {
         if self.tables.len() > 1 {
@@ -655,5 +674,21 @@ mod tests {
     fn paper_default_table_is_4k_entries() {
         let f = PollutionFilter::new(&cfg(FilterKind::Pa));
         assert_eq!(f.table_entries(), 4096);
+    }
+
+    #[test]
+    fn fraction_good_starts_at_one_and_decays_with_bad_training() {
+        let mut f = PollutionFilter::new(&cfg(FilterKind::Pa));
+        assert_eq!(f.fraction_good(), 1.0, "weakly-good init predicts good");
+        // Train a handful of distinct lines bad twice each: their 2-bit
+        // counters saturate below the threshold, so the aggregate drops.
+        for line in 0..8u64 {
+            let r = req(line * 64, 0x100);
+            f.on_eviction(&r.origin(), false);
+            f.on_eviction(&r.origin(), false);
+        }
+        let fg = f.fraction_good();
+        assert!(fg < 1.0, "training bad must lower fraction_good: {fg}");
+        assert!(fg > 0.9, "only 8 of 4096 entries were trained: {fg}");
     }
 }

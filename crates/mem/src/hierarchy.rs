@@ -169,6 +169,12 @@ impl Hierarchy {
         self.buffer.is_some()
     }
 
+    /// Fills still in flight at `now` — the interval-telemetry MSHR gauge
+    /// (a read-only observation; never affects timing).
+    pub fn mshr_live(&self, now: Cycle) -> usize {
+        self.mshr.live(now)
+    }
+
     /// True if `line` is resident in the L1 or the prefetch buffer —
     /// the duplicate-squash predicate for incoming prefetches.
     pub fn prefetch_target_resident(&self, line: LineAddr) -> bool {

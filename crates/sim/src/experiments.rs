@@ -19,9 +19,11 @@
 use crate::report::SimReport;
 use crate::simulator::{Simulator, WatchdogConfig};
 use ppf_cpu::InstStream;
+use ppf_types::telemetry::{JsonlSink, TelemetryConfig};
 use ppf_types::{json_struct, FilterKind, PpfError, PrefetchConfig, SplitMix64, SystemConfig};
 use ppf_workloads::{FaultSpec, FaultStream, Workload};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Default per-run instruction budget for full experiments. The paper runs
@@ -57,6 +59,22 @@ pub struct RunSpec {
     /// Fault to inject into the instruction stream (tests and CI fault
     /// drills only; `None` everywhere else).
     pub fault: Option<FaultSpec>,
+    /// Interval-telemetry stream for this cell (`None` everywhere except
+    /// explicitly instrumented runs — telemetry is off by default).
+    pub telemetry: Option<TelemetrySpec>,
+}
+
+/// Where a cell's interval-telemetry stream goes: the sampling config plus
+/// a destination *directory*. The filename is derived from the cell's final
+/// `(label, workload, seed)` inside [`RunSpec::run_checked`], after seed
+/// fan-out has assigned the real seed — a pre-computed path would collide
+/// across fanned seeds.
+#[derive(Debug, Clone)]
+pub struct TelemetrySpec {
+    /// Sampling configuration (interval length; must be enabled).
+    pub config: TelemetryConfig,
+    /// Directory receiving `<label>-<workload>-<seed>.jsonl` streams.
+    pub dir: PathBuf,
 }
 
 impl RunSpec {
@@ -71,6 +89,7 @@ impl RunSpec {
             warmup: DEFAULT_WARMUP,
             watchdog: WatchdogConfig::default(),
             fault: None,
+            telemetry: None,
         }
     }
 
@@ -95,6 +114,33 @@ impl RunSpec {
         self
     }
 
+    /// Stream this cell's interval telemetry into `dir` (one JSONL file per
+    /// cell, named after the final label/workload/seed).
+    pub fn with_telemetry(mut self, config: TelemetryConfig, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry = Some(TelemetrySpec {
+            config,
+            dir: dir.into(),
+        });
+        self
+    }
+
+    /// Where this cell's telemetry stream lands, if telemetry is attached.
+    /// Non-alphanumeric label characters are flattened to `_` so sweep
+    /// labels like `no-filter@32KB` stay filesystem-safe.
+    pub fn telemetry_path(&self) -> Option<PathBuf> {
+        let t = self.telemetry.as_ref()?;
+        let safe: String = self
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        Some(t.dir.join(format!(
+            "{safe}-{}-{}.jsonl",
+            self.workload.name(),
+            self.seed
+        )))
+    }
+
     /// This cell's identity, as used in error context frames.
     fn identity(&self) -> String {
         format!(
@@ -117,8 +163,25 @@ impl RunSpec {
         let mut sim = sim
             .labeled(self.label.clone(), self.workload.name())
             .with_watchdog(self.watchdog);
+        if let Some(t) = &self.telemetry {
+            sim = sim
+                .with_telemetry(&t.config)
+                .map_err(|e| e.context(self.identity()))?;
+        }
         sim.warmup_checked(self.warmup)?;
-        sim.run_checked(self.n_instructions)
+        let report = sim.run_checked(self.n_instructions)?;
+        if let Some(t) = &self.telemetry {
+            let path = self.telemetry_path().expect("telemetry is set");
+            std::fs::create_dir_all(&t.dir).map_err(|e| {
+                PpfError::io(e.to_string())
+                    .context(format!("creating telemetry dir {}", t.dir.display()))
+                    .context(self.identity())
+            })?;
+            JsonlSink::new(path)
+                .write(&sim.take_telemetry_records())
+                .map_err(|e| e.context(self.identity()))?;
+        }
+        Ok(report)
     }
 
     /// Execute this cell, panicking on failure with the rendered
@@ -743,6 +806,37 @@ mod tests {
             .collect();
         assert_eq!(got, expected);
         assert!(reports.iter().all(|r| r.stats.instructions >= N));
+    }
+
+    #[test]
+    fn run_checked_streams_telemetry_to_dir() {
+        let dir = std::env::temp_dir().join("ppf-experiments-telemetry-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = RunSpec::new(
+            "PA@4KB",
+            SystemConfig::paper_default().with_filter(FilterKind::Pa),
+            Workload::Em3d,
+        )
+        .instructions(N)
+        .with_telemetry(TelemetryConfig::every(1_000), &dir);
+        let path = spec.telemetry_path().expect("telemetry attached");
+        assert!(
+            path.file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("PA_4KB-em3d-"),
+            "label is sanitized: {path:?}"
+        );
+        let report = spec.run_checked().expect("cell runs");
+        let records = JsonlSink::new(&path).read().expect("stream written");
+        assert!(!records.is_empty());
+        assert!(records.iter().map(|r| r.instructions).sum::<u64>() <= report.stats.instructions);
+        // Telemetry must not perturb the simulation itself.
+        let mut plain = spec.clone();
+        plain.telemetry = None;
+        assert_eq!(plain.run_checked().unwrap().stats, report.stats);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod simulator;
 
 pub use experiments::{
     fanned_seed, run_grid, run_grid_outcomes, run_grid_seeds, run_grid_seeds_outcomes, CellFailure,
-    CellOutcome, RunSpec,
+    CellOutcome, RunSpec, TelemetrySpec,
 };
 pub use report::SimReport;
 pub use simulator::{Simulator, WatchdogConfig};

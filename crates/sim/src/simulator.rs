@@ -25,6 +25,7 @@ use ppf_prefetch::{
     software, AccessEvent, ComposedPrefetcher, CorrelationPrefetcher, NextSequencePrefetcher,
     Prefetcher, ShadowDirectoryPrefetcher, StridePrefetcher,
 };
+use ppf_types::telemetry::{IntervalRecord, IntervalSampler, TelemetryConfig};
 use ppf_types::{Addr, Cycle, LineAddr, Pc, PpfError, PrefetchRequest, SimStats, SystemConfig};
 
 use crate::report::SimReport;
@@ -144,6 +145,11 @@ impl MemSystem {
     /// Mutable view of the pollution filter (to enable tracing).
     pub fn filter_mut(&mut self) -> &mut PollutionFilter {
         &mut self.filter
+    }
+
+    /// Fills still in flight at `now` — the interval-telemetry MSHR gauge.
+    pub fn mshr_live(&self, now: Cycle) -> usize {
+        self.hierarchy.mshr_live(now)
     }
 
     /// Record the good/bad outcome of an evicted prefetched line and train
@@ -336,6 +342,10 @@ pub struct Simulator {
     cycle_base: Cycle,
     core_stats: SimStats,
     watchdog: WatchdogConfig,
+    /// Interval telemetry; `None` (the default) is the provably-free-off
+    /// state — the per-cycle loop pays one `is_some()` branch and nothing
+    /// else.
+    telemetry: Option<IntervalSampler>,
 }
 
 impl Simulator {
@@ -364,6 +374,7 @@ impl Simulator {
             cycle_base: 0,
             core_stats: SimStats::default(),
             watchdog: WatchdogConfig::default(),
+            telemetry: None,
         })
     }
 
@@ -372,6 +383,19 @@ impl Simulator {
     pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
         self.watchdog = watchdog;
         self
+    }
+
+    /// Enable interval telemetry (builder form). A disabled `cfg` leaves
+    /// the simulator exactly as constructed: no sampler is allocated and
+    /// runs stay cycle-identical to a telemetry-free build. Fails on a
+    /// structurally invalid config (enabled with a zero interval).
+    pub fn with_telemetry(mut self, cfg: &TelemetryConfig) -> Result<Self, PpfError> {
+        cfg.validate()?;
+        self.telemetry = IntervalSampler::new(cfg);
+        if let Some(t) = &mut self.telemetry {
+            t.reset(self.now);
+        }
+        Ok(self)
     }
 
     /// The run identity used in error context frames: label, workload, seed.
@@ -414,6 +438,11 @@ impl Simulator {
                 &mut self.core_stats,
             );
             self.mem.drain_prefetch_queue(self.now);
+            // Interval telemetry: a read-only observer, like the watchdog
+            // below. Telemetry-off runs pay exactly this one branch.
+            if self.telemetry.is_some() {
+                self.telemetry_sample();
+            }
             if self.core_stats.instructions > last_retired {
                 last_retired = self.core_stats.instructions;
                 last_retire_cycle = self.now;
@@ -471,7 +500,41 @@ impl Simulator {
         // ends with an empty queue so measurement starts balanced.
         self.mem.flush_prefetch_queue();
         self.cycle_base = self.now;
+        // Telemetry intervals are measured from the same origin as the
+        // stats (warm-up records are dropped, interval 0 starts here).
+        if let Some(t) = &mut self.telemetry {
+            t.reset(self.now);
+        }
         Ok(())
+    }
+
+    /// Close the telemetry interval ending at `self.now` if one is due.
+    /// Only called when a sampler exists; the `next_due` guard makes the
+    /// common (mid-interval) case a single comparison.
+    fn telemetry_sample(&mut self) {
+        let sampler = self.telemetry.as_mut().expect("guarded by is_some");
+        if self.now < sampler.next_due() {
+            return;
+        }
+        let fraction_good = self.mem.filter().fraction_good();
+        let mshr_live = self.mem.mshr_live(self.now) as u64;
+        let queue_backlog = self.mem.queue_backlog();
+        let sampler = self.telemetry.as_mut().expect("guarded by is_some");
+        sampler.set_gauges(fraction_good, mshr_live, queue_backlog);
+        sampler.sample(self.now, self.core_stats.instructions, &self.mem.stats);
+    }
+
+    /// Interval records collected so far (empty when telemetry is off).
+    pub fn telemetry_records(&self) -> &[IntervalRecord] {
+        self.telemetry.as_ref().map_or(&[], |t| t.records())
+    }
+
+    /// Take ownership of the collected interval records (empty when
+    /// telemetry is off).
+    pub fn take_telemetry_records(&mut self) -> Vec<IntervalRecord> {
+        self.telemetry
+            .as_mut()
+            .map_or_else(Vec::new, |t| t.take_records())
     }
 
     /// Attach report labels (experiment + workload names).
@@ -678,6 +741,88 @@ mod tests {
         let base = run(SystemConfig::paper_default(), Workload::Mcf);
         assert_eq!(base.stats.l1.demand_misses, r.stats.l1.demand_misses);
         assert_eq!(base.stats.cycles, r.stats.cycles);
+    }
+
+    #[test]
+    fn telemetry_off_is_cycle_identical() {
+        // The free-when-off contract: a run built through `with_telemetry`
+        // with a disabled config produces bit-identical stats to a run
+        // that never heard of telemetry.
+        let plain = run(SystemConfig::paper_default(), Workload::Em3d);
+        let mut sim = Simulator::with_seed(
+            SystemConfig::paper_default(),
+            Box::new(Workload::Em3d.stream(42)),
+            42,
+        )
+        .unwrap()
+        .with_telemetry(&TelemetryConfig::default())
+        .unwrap();
+        let off = sim.run(N);
+        assert_eq!(off.stats, plain.stats);
+        assert!(sim.telemetry_records().is_empty());
+        assert!(sim.take_telemetry_records().is_empty());
+    }
+
+    #[test]
+    fn telemetry_on_does_not_change_stats() {
+        let plain = run(SystemConfig::paper_default(), Workload::Mcf);
+        let mut sim = Simulator::with_seed(
+            SystemConfig::paper_default(),
+            Box::new(Workload::Mcf.stream(42)),
+            42,
+        )
+        .unwrap()
+        .with_telemetry(&TelemetryConfig::every(1_000))
+        .unwrap();
+        let on = sim.run(N);
+        assert_eq!(on.stats, plain.stats, "telemetry must be a pure observer");
+        let records = sim.telemetry_records();
+        assert!(!records.is_empty());
+        // Intervals tile the measured run: contiguous, instruction-complete.
+        let covered: u64 = records.iter().map(|r| r.instructions).sum();
+        assert!(covered <= on.stats.instructions);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.interval, i as u64);
+            assert_eq!(r.start_cycle, i as u64 * 1_000);
+            assert_eq!(r.end_cycle, (i as u64 + 1) * 1_000);
+        }
+    }
+
+    #[test]
+    fn telemetry_restarts_at_warmup_boundary() {
+        let mut sim = Simulator::with_seed(
+            SystemConfig::paper_default(),
+            Box::new(Workload::Wave5.stream(42)),
+            42,
+        )
+        .unwrap()
+        .with_telemetry(&TelemetryConfig::every(500))
+        .unwrap();
+        sim.warmup(20_000);
+        assert!(
+            sim.telemetry_records().is_empty(),
+            "warm-up records are dropped at the measurement boundary"
+        );
+        sim.run(30_000);
+        let records = sim.telemetry_records();
+        assert!(!records.is_empty());
+        assert_eq!(records[0].interval, 0);
+        assert_eq!(records[0].start_cycle, 0);
+    }
+
+    #[test]
+    fn telemetry_rejects_invalid_config() {
+        let sim = Simulator::with_seed(
+            SystemConfig::paper_default(),
+            Box::new(Workload::Gzip.stream(1)),
+            1,
+        )
+        .unwrap();
+        let cfg = TelemetryConfig {
+            enabled: true,
+            interval_cycles: 0,
+        };
+        assert!(sim.with_telemetry(&cfg).is_err());
     }
 
     #[test]

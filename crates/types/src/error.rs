@@ -30,6 +30,9 @@ pub enum PpfErrorKind {
     ForwardProgressStall,
     /// A checkpoint file exists but cannot be parsed back into a report.
     CheckpointCorrupt,
+    /// An instruction stream cannot be represented in the compact binary
+    /// trace format (e.g. a PC beyond the record's 34-bit range).
+    TraceEncoding,
     /// An operating-system I/O failure (checkpoint directory, report dump).
     Io,
 }
@@ -44,6 +47,7 @@ impl PpfErrorKind {
             PpfErrorKind::WatchdogTimeout => "watchdog-timeout",
             PpfErrorKind::ForwardProgressStall => "forward-progress-stall",
             PpfErrorKind::CheckpointCorrupt => "checkpoint-corrupt",
+            PpfErrorKind::TraceEncoding => "trace-encoding",
             PpfErrorKind::Io => "io",
         }
     }
@@ -56,6 +60,7 @@ json_unit_enum!(PpfErrorKind {
     WatchdogTimeout,
     ForwardProgressStall,
     CheckpointCorrupt,
+    TraceEncoding,
     Io,
 });
 
@@ -109,6 +114,11 @@ impl PpfError {
     /// Convenience constructor for [`PpfErrorKind::CheckpointCorrupt`].
     pub fn checkpoint_corrupt(message: impl Into<String>) -> Self {
         Self::new(PpfErrorKind::CheckpointCorrupt, message)
+    }
+
+    /// Convenience constructor for [`PpfErrorKind::TraceEncoding`].
+    pub fn trace_encoding(message: impl Into<String>) -> Self {
+        Self::new(PpfErrorKind::TraceEncoding, message)
     }
 
     /// Convenience constructor for [`PpfErrorKind::Io`].
@@ -181,6 +191,7 @@ mod tests {
             PpfErrorKind::CheckpointCorrupt.label(),
             "checkpoint-corrupt"
         );
+        assert_eq!(PpfErrorKind::TraceEncoding.label(), "trace-encoding");
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod json;
 pub mod prefetch;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use addr::{Addr, Cycle, LineAddr, Pc};
 pub use config::{
@@ -30,3 +31,4 @@ pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use prefetch::{PrefetchOrigin, PrefetchRequest, PrefetchSource};
 pub use rng::SplitMix64;
 pub use stats::{CacheStats, MissClass, PerSource, SimStats};
+pub use telemetry::{IntervalRecord, IntervalSampler, JsonlSink, Registry, TelemetryConfig};

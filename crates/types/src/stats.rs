@@ -42,6 +42,20 @@ impl PerSource {
             *a += b;
         }
     }
+
+    /// Element-wise difference against an `earlier` snapshot of the same
+    /// monotonic counters (interval telemetry's per-sample delta).
+    pub fn delta(&self, earlier: &PerSource) -> PerSource {
+        let mut out = PerSource::default();
+        for (slot, (now, then)) in out
+            .by_source
+            .iter_mut()
+            .zip(self.by_source.iter().zip(earlier.by_source.iter()))
+        {
+            *slot = now - then;
+        }
+        out
+    }
 }
 
 json_struct!(PerSource { by_source });

@@ -7,6 +7,7 @@
 //! are a diagnostic artifact, not the source of truth.
 
 use ppf_cpu::{Inst, InstStream, Op};
+use ppf_types::PpfError;
 
 /// Record type tags.
 const T_INT: u8 = 0;
@@ -19,15 +20,32 @@ const T_BRANCH: u8 = 5;
 /// Bytes per encoded instruction record.
 const RECORD_LEN: usize = 14;
 
+/// Largest PC the 14-byte record can carry: the PC is stored as a
+/// word-aligned `u32` (`pc / 4`), so the format spans 34 bits of address.
+pub const MAX_ENCODABLE_PC: u64 = (u32::MAX as u64) * 4;
+
 /// Serialize the next `n` instructions of `stream` into a trace buffer.
 ///
-/// Record layout (little-endian): `tag u8, dep u8, pc_lo u32 (pc/4 truncated),
+/// Record layout (little-endian): `tag u8, dep u8, pc_word u32 (pc/4),
 /// payload u64` — where payload is the address for memory ops, or
 /// `(target << 1) | taken` for branches, 0 otherwise.
-pub fn record(stream: &mut dyn InstStream, n: usize) -> Vec<u8> {
+///
+/// A PC above [`MAX_ENCODABLE_PC`] cannot fit the 34-bit field; rather than
+/// silently truncating it (which used to round-trip the trace to the wrong
+/// addresses), the encoder fails with a
+/// [`TraceEncoding`](ppf_types::PpfErrorKind::TraceEncoding) error naming
+/// the offending instruction.
+pub fn record(stream: &mut dyn InstStream, n: usize) -> Result<Vec<u8>, PpfError> {
     let mut buf = Vec::with_capacity(n * RECORD_LEN);
-    for _ in 0..n {
+    for i in 0..n {
         let inst = stream.next_inst();
+        if inst.pc > MAX_ENCODABLE_PC {
+            return Err(PpfError::trace_encoding(format!(
+                "pc {:#x} of instruction {i} exceeds the trace format's \
+                 34-bit range (max {:#x})",
+                inst.pc, MAX_ENCODABLE_PC
+            )));
+        }
         let (tag, payload) = match inst.op {
             Op::IntAlu => (T_INT, 0u64),
             Op::FpAlu => (T_FP, 0),
@@ -41,7 +59,7 @@ pub fn record(stream: &mut dyn InstStream, n: usize) -> Vec<u8> {
         buf.extend_from_slice(&((inst.pc / 4) as u32).to_le_bytes());
         buf.extend_from_slice(&payload.to_le_bytes());
     }
-    buf
+    Ok(buf)
 }
 
 /// Deserialize a trace produced by [`record`]. A trailing partial record
@@ -128,7 +146,7 @@ mod tests {
     fn round_trip_preserves_instructions() {
         let mut s = Workload::Mcf.stream(9);
         let mut reference = Workload::Mcf.stream(9);
-        let trace = record(&mut s, 2000);
+        let trace = record(&mut s, 2000).unwrap();
         let decoded = replay(trace);
         assert_eq!(decoded.len(), 2000);
         for inst in &decoded {
@@ -139,14 +157,14 @@ mod tests {
     #[test]
     fn record_size_is_14_bytes_per_inst() {
         let mut s = Workload::Bh.stream(1);
-        let trace = record(&mut s, 100);
+        let trace = record(&mut s, 100).unwrap();
         assert_eq!(trace.len(), 1400);
     }
 
     #[test]
     fn trace_stream_loops() {
         let mut s = Workload::Gzip.stream(2);
-        let trace = record(&mut s, 10);
+        let trace = record(&mut s, 10).unwrap();
         let mut ts = TraceStream::from_bytes(trace);
         assert_eq!(ts.len(), 10);
         let first = ts.next_inst();
@@ -180,7 +198,7 @@ mod tests {
             i += 1;
             inst
         };
-        let decoded = replay(record(&mut stream, 2));
+        let decoded = replay(record(&mut stream, 2).unwrap());
         assert_eq!(
             decoded[0].op,
             Op::Branch {
@@ -200,7 +218,7 @@ mod tests {
     #[test]
     fn truncated_trailing_record_is_ignored() {
         let mut s = Workload::Mcf.stream(3);
-        let mut trace = record(&mut s, 5);
+        let mut trace = record(&mut s, 5).unwrap();
         trace.truncate(trace.len() - 3); // chop mid-record
         assert_eq!(replay(trace).len(), 4);
     }
@@ -212,9 +230,28 @@ mod tests {
     }
 
     #[test]
+    fn oversized_pc_is_rejected_not_truncated() {
+        // Regression: PCs above the record's 34-bit range used to be
+        // silently truncated to the low bits, so the trace replayed with
+        // wrong addresses. They must fail loudly instead.
+        let mut stream = || Inst::new(MAX_ENCODABLE_PC + 4, Op::IntAlu);
+        let err = record(&mut stream, 3).unwrap_err();
+        assert_eq!(err.kind(), ppf_types::PpfErrorKind::TraceEncoding);
+        assert!(err.message.contains("34-bit"), "{err}");
+        assert!(err.message.contains("instruction 0"), "{err}");
+    }
+
+    #[test]
+    fn max_encodable_pc_round_trips() {
+        let mut stream = || Inst::new(MAX_ENCODABLE_PC, Op::IntAlu);
+        let decoded = replay(record(&mut stream, 1).unwrap());
+        assert_eq!(decoded[0].pc, MAX_ENCODABLE_PC);
+    }
+
+    #[test]
     fn file_round_trip() {
         let mut s = Workload::Wave5.stream(4);
-        let trace = record(&mut s, 500);
+        let trace = record(&mut s, 500).unwrap();
         let path = std::env::temp_dir().join("ppf-trace-test.bin");
         save(&trace, &path).unwrap();
         let loaded = load(&path).unwrap();

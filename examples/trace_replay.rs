@@ -24,7 +24,7 @@ fn main() {
     let trace_len = (n + n / 2) as usize;
 
     // 1. Record.
-    let bytes = trace::record(&mut workload.stream(42), trace_len);
+    let bytes = trace::record(&mut workload.stream(42), trace_len).expect("trace encodes");
     let path = std::env::temp_dir().join(format!("ppf-{workload}.trace"));
     trace::save(&bytes, &path).expect("write trace");
     println!(

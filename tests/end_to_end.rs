@@ -89,7 +89,7 @@ fn recorded_trace_replays_identically() {
     // Record a trace prefix, then drive the simulator with the replayed
     // trace: the memory behaviour must match the live stream's.
     let mut live_stream = Workload::Gap.stream(11);
-    let trace_bytes = trace::record(&mut Workload::Gap.stream(11), 200_000);
+    let trace_bytes = trace::record(&mut Workload::Gap.stream(11), 200_000).unwrap();
     let replayed = trace::TraceStream::from_bytes(trace_bytes);
 
     let mut live_sim = Simulator::new(SystemConfig::paper_default(), {
