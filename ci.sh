@@ -35,6 +35,18 @@ fault_drills() {
     rm -rf "$tdir"
 }
 
+oracle() {
+    # Differential-oracle campaign (DESIGN.md §11): lockstep-check the
+    # optimized structures against their naive reference models over
+    # seeded random event streams, and replay the committed repro corpus.
+    # The randomized budget is bounded so the shard stays fast; CI trims
+    # it further on pull requests. A divergence writes a minimized JSONL
+    # repro (path in the failure message) before failing the shard.
+    : "${PPF_ORACLE_CASES:=1000}"
+    export PPF_ORACLE_CASES
+    cargo test --release -q --test oracle
+}
+
 bench_smoke() {
     # Perf gate: quick throughput run compared against the committed
     # baseline; exits non-zero if any layer regresses past the threshold.
@@ -49,14 +61,16 @@ case "$stage" in
 build-test) build_test ;;
 lint) lint ;;
 fault-drills) fault_drills ;;
+oracle) oracle ;;
 bench-smoke) bench_smoke ;;
 all)
     build_test
     lint
     fault_drills
+    oracle
     ;;
 *)
-    echo "unknown stage: $stage (build-test|lint|fault-drills|bench-smoke|all)" >&2
+    echo "unknown stage: $stage (build-test|lint|fault-drills|oracle|bench-smoke|all)" >&2
     exit 2
     ;;
 esac

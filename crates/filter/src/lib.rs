@@ -229,6 +229,18 @@ impl PollutionFilter {
         good / total as f64
     }
 
+    /// Snapshot of every component table's raw counter array, in table
+    /// order. Cheap state-inspection hook for the differential oracle.
+    pub fn counter_snapshot(&self) -> Vec<Vec<u8>> {
+        self.tables.iter().map(|t| t.counters().to_vec()).collect()
+    }
+
+    /// Snapshot of the hybrid chooser's counters; `None` for non-hybrid
+    /// kinds.
+    pub fn chooser_snapshot(&self) -> Option<Vec<u8>> {
+        self.chooser.as_ref().map(|c| c.counters().to_vec())
+    }
+
     #[inline]
     fn table_idx(&self, source: PrefetchSource) -> usize {
         if self.tables.len() > 1 {

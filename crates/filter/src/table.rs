@@ -77,6 +77,12 @@ impl HistoryTable {
         self.counters[self.slot(key)]
     }
 
+    /// The full counter array, in slot order (differential-oracle
+    /// snapshots).
+    pub fn counters(&self) -> &[u8] {
+        &self.counters
+    }
+
     /// Train the counter for `key` with one outcome.
     #[inline]
     pub fn train(&mut self, key: u64, good: bool) {

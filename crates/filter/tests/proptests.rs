@@ -2,12 +2,127 @@
 //! behaviour under arbitrary training, and end-to-end filter consistency.
 
 use ppf_filter::counter::SatCounter;
+use ppf_filter::hash::{hash_line, hash_pc};
 use ppf_filter::table::HistoryTable;
 use ppf_filter::PollutionFilter;
 use ppf_types::{FilterConfig, FilterKind, LineAddr, PrefetchRequest, PrefetchSource};
 use proptest::prelude::*;
 
 proptest! {
+    #[test]
+    fn pa_index_sweep_covers_every_slot(
+        entries_log2 in 4u32..13,
+        high in any::<u64>(),
+    ) {
+        // A sweep of consecutive line addresses (with arbitrary upper bits,
+        // which fold16 XORs in as a constant) must land on every slot of a
+        // power-of-two table: the PA index wastes no entries on any stripe
+        // of the address space.
+        let entries = 1usize << entries_log2;
+        let mask = (entries - 1) as u64;
+        let mut hit = vec![false; entries];
+        for i in 0..entries as u64 {
+            let line = LineAddr((high << 16) | i);
+            hit[(hash_line(line) & mask) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "PA sweep must cover all {} slots", entries);
+    }
+
+    #[test]
+    fn pc_index_sweep_covers_every_slot(
+        entries_log2 in 4u32..13,
+        high in any::<u64>(),
+    ) {
+        // Same full-range property for the PC index: consecutive 4-byte
+        // aligned instruction addresses cover the whole table — the two
+        // always-zero alignment bits must not shrink the usable index range.
+        let entries = 1usize << entries_log2;
+        let mask = (entries - 1) as u64;
+        let mut hit = vec![false; entries];
+        for i in 0..entries as u64 {
+            let pc = (high << 18) | (i << 2);
+            hit[(hash_pc(pc) & mask) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "PC sweep must cover all {} slots", entries);
+    }
+
+    #[test]
+    fn saturating_bad_sweep_drains_the_whole_table(
+        entries_log2 in 4u32..10,
+        bits in 1u8..=3,
+    ) {
+        // Training every slot bad max+1 times saturates the entire table at
+        // zero regardless of width — coverage and decay saturation at once.
+        let entries = 1usize << entries_log2;
+        let mut t = HistoryTable::new(entries, bits);
+        let reps = 1u32 << bits;
+        for key in 0..entries as u64 {
+            for _ in 0..reps {
+                t.train(key, false);
+            }
+        }
+        prop_assert_eq!(t.fraction_good(), 0.0);
+        prop_assert!(t.counters().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn saturating_good_sweep_fills_the_whole_table(
+        entries_log2 in 4u32..10,
+        bits in 1u8..=3,
+    ) {
+        let entries = 1usize << entries_log2;
+        let max = (1u8 << bits) - 1;
+        let mut t = HistoryTable::with_init(entries, bits, ppf_types::CounterInit::WeaklyBad);
+        let reps = 1u32 << bits;
+        for key in 0..entries as u64 {
+            for _ in 0..reps {
+                t.train(key, true);
+            }
+        }
+        prop_assert_eq!(t.fraction_good(), 1.0);
+        prop_assert!(t.counters().iter().all(|&v| v == max));
+    }
+
+    #[test]
+    fn counter_moves_monotonically_in_unit_steps(
+        bits in 1u8..=8,
+        initial in any::<u8>(),
+        good in any::<bool>(),
+        n in 1usize..40,
+    ) {
+        // Under a consistent outcome the counter is monotone, moves by at
+        // most one per training, and never leaves [0, max].
+        let mut c = SatCounter::new(bits, initial);
+        let mut prev = c.value();
+        for _ in 0..n {
+            c.train(good);
+            let v = c.value();
+            if good {
+                prop_assert!(v >= prev, "good training must not weaken");
+            } else {
+                prop_assert!(v <= prev, "bad training must not strengthen");
+            }
+            prop_assert!(v.abs_diff(prev) <= 1, "saturating counters step by one");
+            prop_assert!(v <= c.max());
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn table_counters_never_exceed_width(
+        bits in 1u8..=3,
+        ops in prop::collection::vec((any::<u64>(), any::<bool>()), 0..300),
+    ) {
+        // The 2-bit-range invariant, generalized: whatever the training
+        // history, no raw counter escapes its configured width.
+        let mut t = HistoryTable::new(64, bits);
+        let max = (1u8 << bits) - 1;
+        for (key, good) in ops {
+            t.train(key, good);
+            prop_assert!(t.counters().iter().all(|&v| v <= max));
+        }
+    }
+
     #[test]
     fn counter_stays_in_range_under_any_training(
         bits in 1u8..=8,

@@ -99,6 +99,27 @@ impl Line {
     }
 }
 
+/// Observable metadata of one resident line — the cache's architectural
+/// state minus replacement bookkeeping. Snapshot type for differential
+/// checking (`ppf-oracle`) and diagnostics; replacement stamps are
+/// deliberately excluded because they are an implementation detail the
+/// reference models must not depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineState {
+    /// The resident line.
+    pub line: LineAddr,
+    /// Writeback needed on eviction.
+    pub dirty: bool,
+    /// Prefetch Indication Bit.
+    pub pib: bool,
+    /// Reference Indication Bit.
+    pub rib: bool,
+    /// NSP re-trigger tag.
+    pub nsp_tag: bool,
+    /// Prefetch provenance (set iff PIB).
+    pub origin: Option<PrefetchOrigin>,
+}
+
 /// A set-associative cache with PIB/RIB line metadata.
 #[derive(Debug)]
 pub struct Cache {
@@ -258,6 +279,26 @@ impl Cache {
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Snapshot of every resident line's observable state, sorted by line
+    /// number. Cheap state-inspection hook for the differential oracle.
+    pub fn resident_lines(&self) -> Vec<LineState> {
+        let mut out: Vec<LineState> = self
+            .lines
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| LineState {
+                line: l.line,
+                dirty: l.dirty,
+                pib: l.pib,
+                rib: l.rib,
+                nsp_tag: l.nsp_tag,
+                origin: l.origin,
+            })
+            .collect();
+        out.sort_by_key(|l| l.line.0);
+        out
     }
 
     /// Iterate eviction reports for all resident lines, invalidating them.

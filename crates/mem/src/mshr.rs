@@ -52,6 +52,21 @@ impl MshrFile {
             .map(|e| e.ready_at)
     }
 
+    /// Live `(line, ready_at)` pairs at `now`, sorted. Slot positions are
+    /// an implementation detail, so this sorted view is the structure's
+    /// whole observable state — the differential oracle compares it after
+    /// every operation.
+    pub fn live_entries(&self, now: Cycle) -> Vec<(LineAddr, Cycle)> {
+        let mut out: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|e| e.ready_at > now)
+            .map(|e| (e.line, e.ready_at))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Record an in-flight fill of `line` completing at `ready_at`.
     ///
     /// Expired entries are recycled first; when the file is full the entry

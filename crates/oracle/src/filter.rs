@@ -1,0 +1,438 @@
+//! Untimed reference model of the pollution filter (§4 of the paper).
+//!
+//! The real [`PollutionFilter`] packs its counters into boxed slices with
+//! masked indexing, shares code between the PA/PC/split/hybrid layouts, and
+//! keeps a direct-mapped reject log for misprediction recovery. The oracle
+//! re-derives the same semantics with the most naive storage possible —
+//! plain `Vec<Vec<u8>>` counter arrays and modulo indexing — straight from
+//! the spec:
+//!
+//! * 2-bit (configurable-width) saturating counters, weakly-good init, good
+//!   when strictly above the mid-point (bimodal predictor rules).
+//! * PA keys are the XOR-folded line address; PC keys the folded,
+//!   alignment-stripped trigger PC.
+//! * Eviction feedback trains the counter the prefetch hashed to with the
+//!   line's RIB; hybrid trains both components and the chooser on
+//!   disagreement (the tournament rule).
+//! * A rejected target recorded in the reject log recovers (trains good)
+//!   when a demand miss to it arrives within the freshness window.
+//!
+//! The adaptive gate is deliberately **not** modelled: campaigns run with
+//! `adaptive_accuracy_threshold = None` and the harness refuses gated
+//! configs, keeping the oracle a model of the paper mechanism only.
+
+use crate::event::{obj, op, s, u};
+use crate::Harness;
+use ppf_filter::{FilterStats, PollutionFilter};
+use ppf_types::{
+    CounterInit, FilterConfig, FilterKind, FromJson, JsonValue, LineAddr, PrefetchOrigin,
+    PrefetchRequest, PrefetchSource, ToJson,
+};
+
+/// Mirror of the real reject-log geometry (`ppf_filter::recovery`).
+const REJECT_LOG_ENTRIES: usize = 4096;
+
+/// XOR-fold to 16 bits, re-derived from the spec (not imported from the
+/// implementation under test).
+fn fold16(v: u64) -> u64 {
+    (v ^ (v >> 16) ^ (v >> 32) ^ (v >> 48)) & 0xffff
+}
+
+fn pa_key(line: LineAddr) -> u64 {
+    fold16(line.0)
+}
+
+fn pc_key(pc: u64) -> u64 {
+    fold16(pc >> 2)
+}
+
+/// Largest power of two `<= n` (`n >= 1`), written the slow obvious way.
+fn pow2_floor(n: usize) -> usize {
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rejection {
+    line: LineAddr,
+    key: u64,
+    table: usize,
+    stamp: u64,
+}
+
+/// Naive reference filter: counter vectors plus a flat reject log.
+#[derive(Debug, Clone)]
+pub struct RefFilter {
+    kind: FilterKind,
+    tables: Vec<Vec<u8>>,
+    chooser: Option<Vec<u8>>,
+    max: u8,
+    threshold: u8,
+    reject: Option<Vec<Option<Rejection>>>,
+    window: u64,
+    stats: FilterStats,
+}
+
+impl RefFilter {
+    /// Build the reference model for `cfg`. Refuses configurations the
+    /// oracle does not model (the adaptive gate).
+    pub fn new(cfg: &FilterConfig) -> Result<Self, String> {
+        if cfg.adaptive_accuracy_threshold.is_some() {
+            return Err("oracle does not model the adaptive gate".into());
+        }
+        let max: u8 = if cfg.counter_bits >= 8 {
+            u8::MAX
+        } else {
+            (1u8 << cfg.counter_bits) - 1
+        };
+        let init = match cfg.counter_init {
+            CounterInit::WeaklyGood => max / 2 + 1,
+            CounterInit::StronglyGood => max,
+            CounterInit::WeaklyBad => max / 2,
+        };
+        let table = |entries: usize| vec![init; entries];
+        let (tables, chooser) = match (cfg.kind, cfg.split_by_source) {
+            (FilterKind::Hybrid, _) => {
+                let per = pow2_floor(cfg.table_entries / 4).max(64);
+                (
+                    vec![table(per), table(per)],
+                    Some(table(pow2_floor(cfg.table_entries / 2).max(64))),
+                )
+            }
+            (_, true) => {
+                let per = pow2_floor(cfg.table_entries / PrefetchSource::COUNT).max(64);
+                (
+                    (0..PrefetchSource::COUNT).map(|_| table(per)).collect(),
+                    None,
+                )
+            }
+            _ => (vec![table(cfg.table_entries)], None),
+        };
+        Ok(RefFilter {
+            kind: cfg.kind,
+            tables,
+            chooser,
+            max,
+            threshold: max / 2,
+            reject: (cfg.kind != FilterKind::None && cfg.recovery_window > 0)
+                .then(|| vec![None; REJECT_LOG_ENTRIES]),
+            window: cfg.recovery_window,
+            stats: FilterStats::default(),
+        })
+    }
+
+    fn predicts_good(&self, table: usize, key: u64) -> bool {
+        let t = &self.tables[table];
+        t[(key as usize) % t.len()] > self.threshold
+    }
+
+    fn train(&mut self, table: usize, key: u64, good: bool) {
+        let max = self.max;
+        let t = &mut self.tables[table];
+        let slot = (key as usize) % t.len();
+        t[slot] = if good {
+            t[slot].saturating_add(1).min(max)
+        } else {
+            t[slot].saturating_sub(1)
+        };
+    }
+
+    fn table_for(&self, source: PrefetchSource) -> usize {
+        if self.tables.len() > 1 {
+            source.index()
+        } else {
+            0
+        }
+    }
+
+    /// The `(decision key, table)` a non-hybrid lookup or training event
+    /// resolves to; `None` only for `FilterKind::None`.
+    fn flat_key(&self, line: LineAddr, pc: u64, source: PrefetchSource) -> Option<(u64, usize)> {
+        match self.kind {
+            FilterKind::None | FilterKind::Hybrid => None,
+            FilterKind::Pa => Some((pa_key(line), self.table_for(source))),
+            FilterKind::Pc => Some((pc_key(pc), self.table_for(source))),
+        }
+    }
+
+    /// Hybrid lookup: the chooser (PC-indexed) picks which component table
+    /// decides.
+    fn hybrid_key(&self, line: LineAddr, pc: u64) -> (u64, usize) {
+        let pck = pc_key(pc);
+        let trust_pc = match &self.chooser {
+            Some(c) => c[(pck as usize) % c.len()] > self.threshold,
+            None => false,
+        };
+        if trust_pc {
+            (pck, 1)
+        } else {
+            (pa_key(line), 0)
+        }
+    }
+
+    /// Mirror of [`PollutionFilter::should_prefetch`].
+    pub fn lookup(&mut self, line: LineAddr, pc: u64, source: PrefetchSource, now: u64) -> bool {
+        let (key, table) = match self.kind {
+            FilterKind::None => {
+                self.stats.allowed += 1;
+                return true;
+            }
+            FilterKind::Hybrid => self.hybrid_key(line, pc),
+            _ => self.flat_key(line, pc, source).expect("flat kind"),
+        };
+        let good = self.predicts_good(table, key);
+        if good {
+            self.stats.allowed += 1;
+        } else {
+            self.stats.rejected += 1;
+            if let Some(log) = &mut self.reject {
+                log[(line.0 as usize) % REJECT_LOG_ENTRIES] = Some(Rejection {
+                    line,
+                    key,
+                    table,
+                    stamp: now,
+                });
+            }
+        }
+        good
+    }
+
+    /// Mirror of [`PollutionFilter::on_eviction`].
+    pub fn evict(&mut self, line: LineAddr, pc: u64, source: PrefetchSource, referenced: bool) {
+        if referenced {
+            self.stats.trained_good += 1;
+        } else {
+            self.stats.trained_bad += 1;
+        }
+        if self.kind == FilterKind::Hybrid {
+            let (pak, pck) = (pa_key(line), pc_key(pc));
+            let pa_right = self.predicts_good(0, pak) == referenced;
+            let pc_right = self.predicts_good(1, pck) == referenced;
+            self.train(0, pak, referenced);
+            self.train(1, pck, referenced);
+            if pa_right != pc_right {
+                if let Some(c) = &mut self.chooser {
+                    let slot = (pck as usize) % c.len();
+                    c[slot] = if pc_right {
+                        c[slot].saturating_add(1).min(self.max)
+                    } else {
+                        c[slot].saturating_sub(1)
+                    };
+                }
+            }
+        } else if let Some((key, table)) = self.flat_key(line, pc, source) {
+            self.train(table, key, referenced);
+        }
+    }
+
+    /// Mirror of [`PollutionFilter::on_demand_miss`].
+    pub fn demand_miss(&mut self, line: LineAddr, now: u64) {
+        let Some(log) = &mut self.reject else {
+            return;
+        };
+        let slot = (line.0 as usize) % REJECT_LOG_ENTRIES;
+        match log[slot] {
+            Some(r) if r.line == line => {
+                log[slot] = None;
+                if now.saturating_sub(r.stamp) <= self.window {
+                    self.stats.recovered += 1;
+                    self.train(r.table, r.key, true);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Component-table counter arrays (compared against
+    /// [`PollutionFilter::counter_snapshot`]).
+    pub fn counters(&self) -> &[Vec<u8>] {
+        &self.tables
+    }
+
+    /// Chooser counter array, for hybrid configs.
+    pub fn chooser(&self) -> Option<&[u8]> {
+        self.chooser.as_deref()
+    }
+
+    /// Statistics accumulated by the model.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+}
+
+/// Lockstep harness pairing the real [`PollutionFilter`] with [`RefFilter`].
+pub struct FilterHarness {
+    cfg: FilterConfig,
+    real: PollutionFilter,
+    oracle: RefFilter,
+}
+
+impl FilterHarness {
+    /// Build from a repro/campaign config — a full [`FilterConfig`] JSON
+    /// object (the same shape `figures --json` emits).
+    pub fn from_config(config: &JsonValue) -> Result<Self, String> {
+        let cfg = FilterConfig::from_json(config)?;
+        Ok(FilterHarness {
+            real: PollutionFilter::new(&cfg),
+            oracle: RefFilter::new(&cfg)?,
+            cfg,
+        })
+    }
+
+    fn check_state(&self) -> Result<(), String> {
+        let real_tables = self.real.counter_snapshot();
+        if real_tables != self.oracle.tables {
+            return Err(format!(
+                "counter tables diverged: real {real_tables:?} vs oracle {:?}",
+                self.oracle.tables
+            ));
+        }
+        let real_chooser = self.real.chooser_snapshot();
+        if real_chooser.as_deref() != self.oracle.chooser() {
+            return Err(format!(
+                "chooser diverged: real {real_chooser:?} vs oracle {:?}",
+                self.oracle.chooser()
+            ));
+        }
+        if *self.real.stats() != self.oracle.stats {
+            return Err(format!(
+                "stats diverged: real {:?} vs oracle {:?}",
+                self.real.stats(),
+                self.oracle.stats
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Harness for FilterHarness {
+    fn kind(&self) -> &'static str {
+        "filter"
+    }
+
+    fn config(&self) -> JsonValue {
+        self.cfg.to_json()
+    }
+
+    fn reset(&mut self) {
+        self.real = PollutionFilter::new(&self.cfg);
+        self.oracle = RefFilter::new(&self.cfg).expect("config already accepted");
+    }
+
+    fn step(&mut self, event: &JsonValue) -> Result<(), String> {
+        let line = LineAddr(u(event, "line"));
+        match op(event) {
+            "lookup" => {
+                let pc = u(event, "pc");
+                let source = source_of(event);
+                let now = u(event, "now");
+                let req = PrefetchRequest {
+                    line,
+                    trigger_pc: pc,
+                    source,
+                };
+                let real = self.real.should_prefetch(&req, now);
+                let oracle = self.oracle.lookup(line, pc, source, now);
+                if real != oracle {
+                    return Err(format!(
+                        "lookup decision: real {real} vs oracle {oracle} for {event}"
+                    ));
+                }
+            }
+            "evict" => {
+                let pc = u(event, "pc");
+                let source = source_of(event);
+                let referenced = crate::event::b(event, "referenced");
+                let origin = PrefetchOrigin {
+                    line,
+                    trigger_pc: pc,
+                    source,
+                };
+                self.real.on_eviction(&origin, referenced);
+                self.oracle.evict(line, pc, source, referenced);
+            }
+            "demand_miss" => {
+                let now = u(event, "now");
+                self.real.on_demand_miss(line, now);
+                self.oracle.demand_miss(line, now);
+            }
+            other => panic!("filter harness: unknown op `{other}` in {event}"),
+        }
+        self.check_state()
+    }
+}
+
+fn source_of(e: &JsonValue) -> PrefetchSource {
+    PrefetchSource::from_json(&JsonValue::Str(s(e, "source").to_string()))
+        .unwrap_or_else(|err| panic!("bad prefetch source in {e}: {err}"))
+}
+
+/// Build a lookup event (shared with the sim tap replay in tests).
+pub fn lookup_event(line: LineAddr, pc: u64, source: PrefetchSource, now: u64) -> JsonValue {
+    obj(&[
+        ("op", JsonValue::Str("lookup".into())),
+        ("line", line.0.to_json()),
+        ("pc", pc.to_json()),
+        ("source", source.to_json()),
+        ("now", now.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kind: FilterKind) -> FilterConfig {
+        FilterConfig {
+            kind,
+            ..FilterConfig::default()
+        }
+    }
+
+    #[test]
+    fn weakly_good_first_touch_passes() {
+        let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
+        assert!(f.lookup(LineAddr(5), 0x100, PrefetchSource::Nsp, 0));
+    }
+
+    #[test]
+    fn two_bad_outcomes_reject_then_recovery_trains_back() {
+        let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
+        let l = LineAddr(5);
+        f.evict(l, 0x100, PrefetchSource::Nsp, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 10));
+        f.demand_miss(l, 20);
+        assert_eq!(f.stats().recovered, 1);
+    }
+
+    #[test]
+    fn stale_recovery_is_dropped() {
+        let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
+        let l = LineAddr(5);
+        f.evict(l, 0x100, PrefetchSource::Nsp, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0));
+        f.demand_miss(l, 100_000);
+        assert_eq!(f.stats().recovered, 0, "beyond the freshness window");
+    }
+
+    #[test]
+    fn hybrid_geometry_matches_real_budget_split() {
+        let c = cfg(FilterKind::Hybrid);
+        let f = RefFilter::new(&c).unwrap();
+        let real = PollutionFilter::new(&c);
+        assert_eq!(f.counters()[0].len(), real.table_entries());
+        assert_eq!(f.chooser().map(<[u8]>::len), real.chooser_entries());
+    }
+
+    #[test]
+    fn gated_config_is_refused() {
+        let mut c = cfg(FilterKind::Pa);
+        c.adaptive_accuracy_threshold = Some(0.5);
+        assert!(RefFilter::new(&c).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Lockstep differential driver.
+//!
+//! [`run_lockstep`] resets a [`Harness`] and replays an event stream through
+//! it one event at a time. The harness applies each event to the real
+//! structure and to the reference model and compares every observable; the
+//! first mismatch stops the run and is reported as a [`Divergence`] carrying
+//! the failing step, the event, and the harness's description of what
+//! differed.
+
+use crate::Harness;
+use ppf_types::JsonValue;
+
+/// The first point at which the real structure and the oracle disagreed.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Zero-based index of the failing event in the stream.
+    pub step: usize,
+    /// The event that exposed the divergence.
+    pub event: JsonValue,
+    /// Harness-provided description of what differed.
+    pub detail: String,
+}
+
+/// Replay `events` through `harness` from a fresh reset; `Some` on the
+/// first divergence, `None` if the whole stream agrees.
+pub fn run_lockstep(harness: &mut dyn Harness, events: &[JsonValue]) -> Option<Divergence> {
+    harness.reset();
+    for (step, event) in events.iter().enumerate() {
+        if let Err(detail) = harness.step(event) {
+            return Some(Divergence {
+                step,
+                event: event.clone(),
+                detail,
+            });
+        }
+    }
+    None
+}

@@ -1,0 +1,207 @@
+//! Untimed reference model of the outstanding-miss file (MSHR).
+//!
+//! The real [`MshrFile`] recycles slots in place to stay allocation-free;
+//! the oracle keeps a plain `Vec<(line, ready_at)>` and re-derives the four
+//! insert rules from the spec, in priority order:
+//!
+//! 1. a live entry for the same line merges, keeping the *later* completion;
+//! 2. otherwise the first expired slot (`ready_at <= now`) is recycled;
+//! 3. otherwise a free slot is appended;
+//! 4. otherwise the live entry completing soonest (first such slot on a
+//!    tie) is replaced — the structure is timing-only, so overwriting loses
+//!    accuracy, never correctness.
+//!
+//! Slot *positions* are an implementation detail; the compared state is the
+//! sorted set of live `(line, ready_at)` pairs plus every query result.
+
+use crate::event::{op, u};
+use crate::{event, Harness};
+use ppf_mem::MshrFile;
+use ppf_types::{Cycle, JsonValue, LineAddr, ToJson};
+
+/// Naive reference MSHR: a flat list of `(line, ready_at)` pairs.
+#[derive(Debug, Clone)]
+pub struct RefMshr {
+    entries: Vec<(LineAddr, Cycle)>,
+    cap: usize,
+}
+
+impl RefMshr {
+    /// A file with `cap` slots.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        RefMshr {
+            entries: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Record an in-flight fill (the four-rule insert described above).
+    pub fn insert(&mut self, line: LineAddr, ready_at: Cycle, now: Cycle) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(l, r)| *l == line && *r > now)
+        {
+            e.1 = e.1.max(ready_at);
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(_, r)| *r <= now) {
+            *e = (line, ready_at);
+            return;
+        }
+        if self.entries.len() < self.cap {
+            self.entries.push((line, ready_at));
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().min_by_key(|(_, r)| *r) {
+            *e = (line, ready_at);
+        }
+    }
+
+    /// Completion cycle of a live in-flight fill of `line`, if any.
+    pub fn ready_at(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|(l, r)| *l == line && *r > now)
+            .map(|(_, r)| *r)
+    }
+
+    /// Number of live entries at `now`.
+    pub fn live(&self, now: Cycle) -> usize {
+        self.entries.iter().filter(|(_, r)| *r > now).count()
+    }
+
+    /// Live entries at `now`, sorted — the canonical compared state.
+    pub fn live_entries(&self, now: Cycle) -> Vec<(LineAddr, Cycle)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, r)| *r > now)
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Lockstep harness pairing the real [`MshrFile`] with [`RefMshr`].
+pub struct MshrHarness {
+    cap: usize,
+    real: MshrFile,
+    oracle: RefMshr,
+    /// Latest `now` seen, used to snapshot live state after each step.
+    now: Cycle,
+}
+
+impl MshrHarness {
+    /// Build from a repro/campaign config `{"cap": N}`.
+    pub fn from_config(config: &JsonValue) -> Result<Self, String> {
+        let cap = config
+            .get("cap")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "mshr config missing or bad cap".to_string())?
+            as usize;
+        if cap == 0 {
+            return Err("mshr cap must be nonzero".into());
+        }
+        Ok(MshrHarness {
+            cap,
+            real: MshrFile::new(cap),
+            oracle: RefMshr::new(cap),
+            now: 0,
+        })
+    }
+}
+
+impl Harness for MshrHarness {
+    fn kind(&self) -> &'static str {
+        "mshr"
+    }
+
+    fn config(&self) -> JsonValue {
+        event::obj(&[("cap", (self.cap as u64).to_json())])
+    }
+
+    fn reset(&mut self) {
+        self.real = MshrFile::new(self.cap);
+        self.oracle = RefMshr::new(self.cap);
+        self.now = 0;
+    }
+
+    fn step(&mut self, e: &JsonValue) -> Result<(), String> {
+        let now = u(e, "now");
+        self.now = now;
+        match op(e) {
+            "insert" => {
+                let line = LineAddr(u(e, "line"));
+                let ready_at = u(e, "ready_at");
+                self.real.insert(line, ready_at, now);
+                self.oracle.insert(line, ready_at, now);
+            }
+            "ready_at" => {
+                let line = LineAddr(u(e, "line"));
+                let real = self.real.ready_at(line, now);
+                let oracle = self.oracle.ready_at(line, now);
+                if real != oracle {
+                    return Err(format!(
+                        "ready_at: real {real:?} vs oracle {oracle:?} for {e}"
+                    ));
+                }
+            }
+            "live" => {
+                let real = self.real.live(now);
+                let oracle = self.oracle.live(now);
+                if real != oracle {
+                    return Err(format!("live: real {real} vs oracle {oracle} for {e}"));
+                }
+            }
+            other => panic!("mshr harness: unknown op `{other}` in {e}"),
+        }
+        let real_live = self.real.live_entries(self.now);
+        let oracle_live = self.oracle.live_entries(self.now);
+        if real_live != oracle_live {
+            return Err(format!(
+                "live entries diverged at now={}: real {real_live:?} vs oracle {oracle_live:?}",
+                self.now
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_later_completion() {
+        let mut m = RefMshr::new(4);
+        m.insert(LineAddr(1), 100, 0);
+        m.insert(LineAddr(1), 80, 0);
+        assert_eq!(m.ready_at(LineAddr(1), 0), Some(100));
+        assert_eq!(m.live(0), 1);
+    }
+
+    #[test]
+    fn full_file_replaces_first_soonest() {
+        let mut m = RefMshr::new(2);
+        m.insert(LineAddr(1), 100, 0);
+        m.insert(LineAddr(2), 100, 0);
+        // Tie on ready_at: the FIRST minimal slot (line 1) is replaced,
+        // matching `Iterator::min_by_key` on the real structure.
+        m.insert(LineAddr(3), 300, 0);
+        assert_eq!(m.ready_at(LineAddr(1), 0), None);
+        assert_eq!(m.ready_at(LineAddr(2), 0), Some(100));
+    }
+
+    #[test]
+    fn expired_slot_recycled_before_growth() {
+        let mut m = RefMshr::new(2);
+        m.insert(LineAddr(1), 10, 0);
+        m.insert(LineAddr(2), 40, 0);
+        m.insert(LineAddr(3), 50, 20);
+        assert_eq!(m.live(20), 2);
+        assert_eq!(m.ready_at(LineAddr(3), 20), Some(50));
+    }
+}

@@ -1,0 +1,178 @@
+//! Untimed reference model of the per-cycle L1 port budget.
+//!
+//! The real [`PortArbiter`] is already small, but it has shipped a real bug
+//! (the stale-cycle reset that over-granted ports in release builds), which
+//! makes it exactly the kind of structure worth cross-checking. The oracle
+//! is three integers and the spec's rules written longhand:
+//!
+//! * the grant counter belongs to one cycle and only ever moves *forward*;
+//! * an acquire with a stale timestamp is refused and changes nothing;
+//! * reads (`free`, `saturated`) never advance the counter — a future
+//!   timestamp reports every port free, a stale one reports zero.
+
+use crate::event::{op, u};
+use crate::{event, Harness};
+use ppf_mem::PortArbiter;
+use ppf_types::{Cycle, JsonValue, ToJson};
+
+/// Naive reference arbiter: `(ports, cycle, used)`.
+#[derive(Debug, Clone)]
+pub struct RefPorts {
+    ports: usize,
+    cycle: Cycle,
+    used: usize,
+}
+
+impl RefPorts {
+    /// An arbiter for `ports` universal ports (`ports > 0`).
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        RefPorts {
+            ports,
+            cycle: 0,
+            used: 0,
+        }
+    }
+
+    /// Try to take one port in cycle `now`.
+    pub fn try_acquire(&mut self, now: Cycle) -> bool {
+        if now < self.cycle {
+            return false;
+        }
+        if now > self.cycle {
+            self.cycle = now;
+            self.used = 0;
+        }
+        if self.used < self.ports {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ports still free in cycle `now` (pure read).
+    pub fn free(&self, now: Cycle) -> usize {
+        if now > self.cycle {
+            self.ports
+        } else if now == self.cycle {
+            self.ports - self.used
+        } else {
+            0
+        }
+    }
+
+    /// True when no port can be granted in cycle `now`.
+    pub fn saturated(&self, now: Cycle) -> bool {
+        self.free(now) == 0
+    }
+}
+
+/// Lockstep harness pairing the real [`PortArbiter`] with [`RefPorts`].
+pub struct PortsHarness {
+    ports: usize,
+    real: PortArbiter,
+    oracle: RefPorts,
+    /// Latest `now` seen, used to snapshot free-port state after each step.
+    now: Cycle,
+}
+
+impl PortsHarness {
+    /// Build from a repro/campaign config `{"ports": N}`.
+    pub fn from_config(config: &JsonValue) -> Result<Self, String> {
+        let ports = config
+            .get("ports")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "ports config missing or bad ports".to_string())?
+            as usize;
+        if ports == 0 {
+            return Err("ports must be nonzero".into());
+        }
+        Ok(PortsHarness {
+            ports,
+            real: PortArbiter::new(ports),
+            oracle: RefPorts::new(ports),
+            now: 0,
+        })
+    }
+}
+
+impl Harness for PortsHarness {
+    fn kind(&self) -> &'static str {
+        "ports"
+    }
+
+    fn config(&self) -> JsonValue {
+        event::obj(&[("ports", (self.ports as u64).to_json())])
+    }
+
+    fn reset(&mut self) {
+        self.real = PortArbiter::new(self.ports);
+        self.oracle = RefPorts::new(self.ports);
+        self.now = 0;
+    }
+
+    fn step(&mut self, e: &JsonValue) -> Result<(), String> {
+        let now = u(e, "now");
+        self.now = now;
+        match op(e) {
+            "try_acquire" => {
+                let real = self.real.try_acquire(now);
+                let oracle = self.oracle.try_acquire(now);
+                if real != oracle {
+                    return Err(format!(
+                        "try_acquire: real {real} vs oracle {oracle} for {e}"
+                    ));
+                }
+            }
+            "free" => {
+                let real = self.real.free(now);
+                let oracle = self.oracle.free(now);
+                if real != oracle {
+                    return Err(format!("free: real {real} vs oracle {oracle} for {e}"));
+                }
+            }
+            "saturated" => {
+                let real = self.real.saturated(now);
+                let oracle = self.oracle.saturated(now);
+                if real != oracle {
+                    return Err(format!("saturated: real {real} vs oracle {oracle} for {e}"));
+                }
+            }
+            other => panic!("ports harness: unknown op `{other}` in {e}"),
+        }
+        // Beyond the queried observable, the whole visible state is the
+        // free count at the current timestamp.
+        let (real_free, oracle_free) = (self.real.free(self.now), self.oracle.free(self.now));
+        if real_free != oracle_free {
+            return Err(format!(
+                "free ports diverged at now={}: real {real_free} vs oracle {oracle_free}",
+                self.now
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_acquire_is_refused_without_reset() {
+        let mut p = RefPorts::new(2);
+        assert!(p.try_acquire(10));
+        assert!(p.try_acquire(10));
+        assert!(!p.try_acquire(9), "stale acquire refused");
+        assert_eq!(p.free(9), 0);
+        assert!(!p.try_acquire(10), "budget still spent");
+    }
+
+    #[test]
+    fn future_read_does_not_roll() {
+        let mut p = RefPorts::new(1);
+        assert!(p.try_acquire(3));
+        assert_eq!(p.free(4), 1);
+        assert!(!p.try_acquire(3), "cycle 3 budget unchanged by the read");
+    }
+}

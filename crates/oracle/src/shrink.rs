@@ -1,0 +1,67 @@
+//! Delta-minimization of diverging event streams.
+//!
+//! The vendored proptest fork does no shrinking, so the campaign does its
+//! own: a ddmin-style chunk remover over the event prefix. The criterion is
+//! "the stream still diverges *somewhere*" — not "at the same step" — which
+//! keeps removals compositional (dropping an event usually shifts where the
+//! structures disagree, but any disagreement is the same underlying bug
+//! surfaced earlier).
+//!
+//! The result is typically a handful of events: the fills/trainings that set
+//! up the divergent state plus the one probe/lookup that exposes it.
+
+use crate::lockstep::run_lockstep;
+use crate::Harness;
+use ppf_types::JsonValue;
+
+/// Truncate `events` to the shortest prefix that still diverges (the
+/// divergent step is by definition the last event that matters).
+fn truncate_to_failure(harness: &mut dyn Harness, events: &mut Vec<JsonValue>) -> bool {
+    match run_lockstep(harness, events) {
+        Some(d) => {
+            events.truncate(d.step + 1);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Minimize a diverging event stream: returns the smallest stream the
+/// chunked-removal pass converges to. If `events` does not actually diverge
+/// under `harness`, it is returned unchanged.
+pub fn minimize(harness: &mut dyn Harness, events: &[JsonValue]) -> Vec<JsonValue> {
+    let mut best = events.to_vec();
+    if !truncate_to_failure(harness, &mut best) {
+        return best;
+    }
+    // Chunked removal with halving chunk size (ddmin): try deleting each
+    // aligned chunk; on success restart at that position with the shorter
+    // stream and re-truncate to the (possibly earlier) new failure point.
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate: Vec<JsonValue> = best[..start].to_vec();
+            candidate.extend_from_slice(&best[end..]);
+            if !candidate.is_empty() && truncate_to_failure(harness, &mut candidate) {
+                best = candidate;
+                removed_any = true;
+                // Do not advance: the chunk now at `start` is new material.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+            // A successful single-event removal can unlock others; sweep
+            // again at chunk size 1 until a full pass removes nothing.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    best
+}

@@ -24,4 +24,4 @@ pub use experiments::{
     CellOutcome, RunSpec, TelemetrySpec,
 };
 pub use report::SimReport;
-pub use simulator::{Simulator, WatchdogConfig};
+pub use simulator::{FilterTapEvent, Simulator, WatchdogConfig};

@@ -26,7 +26,10 @@ use ppf_prefetch::{
     Prefetcher, ShadowDirectoryPrefetcher, StridePrefetcher,
 };
 use ppf_types::telemetry::{IntervalRecord, IntervalSampler, TelemetryConfig};
-use ppf_types::{Addr, Cycle, LineAddr, Pc, PpfError, PrefetchRequest, SimStats, SystemConfig};
+use ppf_types::{
+    Addr, Cycle, LineAddr, Pc, PpfError, PrefetchOrigin, PrefetchRequest, PrefetchSource, SimStats,
+    SystemConfig,
+};
 
 use crate::report::SimReport;
 
@@ -68,6 +71,46 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// One interaction between the simulator and the pollution filter, in
+/// program order — the event stream the differential oracle (`ppf-oracle`)
+/// replays against its untimed reference filter. Recording is off by
+/// default ([`MemSystem::enable_filter_tap`]) and purely observational: the
+/// tap wraps the filter calls without changing any decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterTapEvent {
+    /// A `should_prefetch` lookup and the decision the real filter made.
+    Lookup {
+        /// Prefetch target line.
+        line: LineAddr,
+        /// Trigger PC.
+        pc: Pc,
+        /// Generating prefetcher.
+        source: PrefetchSource,
+        /// Cycle of the lookup.
+        now: Cycle,
+        /// The real filter's admit/drop decision.
+        admitted: bool,
+    },
+    /// Eviction-time training (`on_eviction`) of a prefetched line.
+    Evict {
+        /// Prefetched line being evicted (or drained / classified).
+        line: LineAddr,
+        /// Trigger PC from the line's provenance.
+        pc: Pc,
+        /// Generating prefetcher from the line's provenance.
+        source: PrefetchSource,
+        /// The line's RIB: was it referenced during residency?
+        referenced: bool,
+    },
+    /// Misprediction-recovery probe (`on_demand_miss`).
+    DemandMiss {
+        /// The missing line.
+        line: LineAddr,
+        /// Cycle of the miss.
+        now: Cycle,
+    },
+}
+
 /// The memory-side half of the machine (everything below the LSQ).
 pub struct MemSystem {
     hierarchy: Hierarchy,
@@ -86,6 +129,9 @@ pub struct MemSystem {
     last_fetch_line: Option<LineAddr>,
     /// Memory-side statistics (merged with core stats in the report).
     pub stats: SimStats,
+    /// When enabled, every filter interaction in program order (see
+    /// [`FilterTapEvent`]).
+    tap: Option<Vec<FilterTapEvent>>,
 }
 
 impl MemSystem {
@@ -120,6 +166,59 @@ impl MemSystem {
             last_conflict_cycle: u64::MAX,
             last_fetch_line: None,
             stats: SimStats::default(),
+            tap: None,
+        }
+    }
+
+    /// Start recording every filter interaction (differential testing).
+    pub fn enable_filter_tap(&mut self) {
+        self.tap = Some(Vec::new());
+    }
+
+    /// Take the recorded filter events, leaving the tap enabled and empty.
+    /// Empty if the tap was never enabled.
+    pub fn take_filter_tap(&mut self) -> Vec<FilterTapEvent> {
+        match &mut self.tap {
+            Some(tap) => std::mem::take(tap),
+            None => Vec::new(),
+        }
+    }
+
+    /// Filter lookup, recorded through the tap when enabled. All simulator
+    /// paths go through these wrappers rather than the filter directly so
+    /// the tap sees the complete stream.
+    fn filter_lookup(&mut self, req: &PrefetchRequest, now: Cycle) -> bool {
+        let admitted = self.filter.should_prefetch(req, now);
+        if let Some(tap) = &mut self.tap {
+            tap.push(FilterTapEvent::Lookup {
+                line: req.line,
+                pc: req.trigger_pc,
+                source: req.source,
+                now,
+                admitted,
+            });
+        }
+        admitted
+    }
+
+    /// Eviction-time filter training, recorded through the tap when enabled.
+    fn filter_evict(&mut self, origin: &PrefetchOrigin, referenced: bool) {
+        self.filter.on_eviction(origin, referenced);
+        if let Some(tap) = &mut self.tap {
+            tap.push(FilterTapEvent::Evict {
+                line: origin.line,
+                pc: origin.trigger_pc,
+                source: origin.source,
+                referenced,
+            });
+        }
+    }
+
+    /// Misprediction-recovery probe, recorded through the tap when enabled.
+    fn filter_demand_miss(&mut self, line: LineAddr, now: Cycle) {
+        self.filter.on_demand_miss(line, now);
+        if let Some(tap) = &mut self.tap {
+            tap.push(FilterTapEvent::DemandMiss { line, now });
         }
     }
 
@@ -161,7 +260,7 @@ impl MemSystem {
             } else {
                 self.stats.prefetch_bad.bump(origin.source);
             }
-            self.filter.on_eviction(&origin, referenced);
+            self.filter_evict(&origin, referenced);
         }
     }
 
@@ -172,7 +271,7 @@ impl MemSystem {
             self.stats.prefetches_duplicate.bump(req.source);
             return;
         }
-        if !self.filter.should_prefetch(&req, now) {
+        if !self.filter_lookup(&req, now) {
             self.stats.prefetches_filtered.bump(req.source);
             return;
         }
@@ -218,7 +317,7 @@ impl MemSystem {
             }
             if let Some(bev) = issue.buffer_evicted {
                 self.stats.prefetch_bad.bump(bev.origin.source);
-                self.filter.on_eviction(&bev.origin, bev.referenced);
+                self.filter_evict(&bev.origin, bev.referenced);
             }
         }
     }
@@ -240,7 +339,7 @@ impl MemSystem {
         }
         for bev in self.hierarchy.drain_buffer() {
             self.stats.prefetch_bad.bump(bev.origin.source);
-            self.filter.on_eviction(&bev.origin, bev.referenced);
+            self.filter_evict(&bev.origin, bev.referenced);
         }
     }
 }
@@ -267,7 +366,7 @@ impl MemoryPort for MemSystem {
         if !res.l1_hit && res.from_buffer.is_none() {
             // Misprediction recovery: this miss may be a prefetch the
             // filter wrongly rejected (see ppf-filter's recovery module).
-            self.filter.on_demand_miss(line, now);
+            self.filter_demand_miss(line, now);
         }
         if let Some(ev) = res.l1_evicted {
             self.feedback_eviction(&ev);
@@ -276,7 +375,7 @@ impl MemoryPort for MemSystem {
             // A demand hit in the dedicated prefetch buffer is by
             // definition a good prefetch; train the filter accordingly.
             self.stats.prefetch_good.bump(origin.source);
-            self.filter.on_eviction(&origin, true);
+            self.filter_evict(&origin, true);
         }
         if let Some(record) = res.from_victim {
             // A prefetched line recovered from the victim cache was
@@ -284,7 +383,7 @@ impl MemoryPort for MemSystem {
             // a demand line, so this is its final classification).
             if let Some((origin, _)) = record.prefetch {
                 self.stats.prefetch_good.bump(origin.source);
-                self.filter.on_eviction(&origin, true);
+                self.filter_evict(&origin, true);
             }
         }
         // Trigger the hardware prefetchers on this access.

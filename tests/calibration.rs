@@ -3,6 +3,9 @@
 //! validity test for the whole synthetic-workload substitution — if it
 //! drifts, every downstream figure drifts with it.
 
+mod common;
+
+use common::close;
 use ppf::sim::{experiments, run_grid};
 use ppf::workloads::Workload;
 use std::sync::OnceLock;
@@ -22,11 +25,6 @@ fn measure(w: Workload) -> (f64, f64) {
     });
     let idx = Workload::ALL.iter().position(|&x| x == w).expect("known");
     all[idx]
-}
-
-/// |measured - target| must be within max(rel · target, abs).
-fn close(measured: f64, target: f64, rel: f64, abs: f64) -> bool {
-    (measured - target).abs() <= (rel * target).max(abs)
 }
 
 #[test]

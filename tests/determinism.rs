@@ -2,6 +2,9 @@
 //! seed) — across repeated runs, across the parallel sweep runner, and
 //! across every machine variant.
 
+mod common;
+
+use common::run_one;
 use ppf::sim::{run_grid, RunSpec, Simulator};
 use ppf::types::{FilterKind, SystemConfig};
 use ppf::workloads::Workload;
@@ -67,9 +70,7 @@ fn variant_machines_are_deterministic_too() {
 #[test]
 fn report_json_round_trip() {
     use ppf::types::{FromJson, ToJson};
-    let report = RunSpec::new("label", SystemConfig::paper_default(), Workload::Bh)
-        .instructions(N)
-        .run();
+    let report = run_one("label", SystemConfig::paper_default(), Workload::Bh, N);
     let json = report.to_json_string();
     let back = ppf::sim::SimReport::from_json_str(&json).unwrap();
     assert_eq!(back, report);

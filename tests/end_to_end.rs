@@ -2,8 +2,11 @@
 //! composes, runs resume, counters stay conserved, and every machine
 //! variant in the paper's evaluation space completes sanely.
 
+mod common;
+
+use common::{assert_census_conserved, census_slack, run_one};
 use ppf::cpu::InstStream;
-use ppf::sim::{RunSpec, Simulator};
+use ppf::sim::Simulator;
 use ppf::types::{FilterKind, PrefetchConfig, SystemConfig};
 use ppf::workloads::{trace, Workload};
 
@@ -23,31 +26,24 @@ fn census_conservation_across_machines() {
     ];
     for cfg in variants {
         for w in [Workload::Em3d, Workload::Gzip] {
-            let r = RunSpec::new("x", cfg.clone(), w).instructions(N).run();
-            let issued = r.stats.prefetches_issued.total();
-            let classified = r.stats.good_total() + r.stats.bad_total();
+            let r = run_one("x", cfg.clone(), w, N);
             // Warmup-issued prefetches classified post-reset make
             // `classified` overshoot slightly; duplicates squashed at issue
-            // make it undershoot. Both effects are bounded by the L1+buffer
+            // make it undershoot. Both effects are bounded by the resident
             // capacity (every resident line is classified at most once).
-            let slack = (cfg.l1.lines() + cfg.buffer.entries + 64) as u64;
-            assert!(
-                classified + slack >= issued && classified <= issued + slack,
-                "{w}: issued {issued} vs classified {classified}"
-            );
+            assert_census_conserved(&r, census_slack(&cfg));
         }
     }
 }
 
 #[test]
 fn funnel_accounting_adds_up() {
-    let r = RunSpec::new(
+    let r = run_one(
         "x",
         SystemConfig::paper_default().with_filter(FilterKind::Pa),
         Workload::Mcf,
-    )
-    .instructions(N)
-    .run();
+        N,
+    );
     let s = &r.stats;
     let proposed = s.prefetches_proposed.total();
     let accounted = s.prefetches_duplicate.total()
@@ -77,7 +73,7 @@ fn prefetch_off_machine_is_quiet_everywhere() {
     let mut cfg = SystemConfig::paper_default();
     cfg.prefetch = PrefetchConfig::disabled();
     for w in [Workload::Ijpeg, Workload::Mcf] {
-        let r = RunSpec::new("off", cfg.clone(), w).instructions(N).run();
+        let r = run_one("off", cfg.clone(), w, N);
         assert_eq!(r.stats.prefetches_proposed.total(), 0, "{w}");
         assert_eq!(r.stats.l1.prefetch_fills, 0, "{w}");
         assert_eq!(r.stats.good_total() + r.stats.bad_total(), 0, "{w}");
@@ -116,9 +112,7 @@ fn all_workloads_complete_on_all_figure_variants() {
     ];
     for cfg in variants {
         for &w in &Workload::ALL {
-            let r = RunSpec::new("smoke", cfg.clone(), w)
-                .instructions(20_000)
-                .run();
+            let r = run_one("smoke", cfg.clone(), w, 20_000);
             let ipc = r.ipc();
             assert!(ipc > 0.05 && ipc < 8.0, "{w}: ipc {ipc}");
         }

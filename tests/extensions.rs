@@ -3,6 +3,9 @@
 //! correlation prefetcher, the stride RPT, adaptive engagement, and the
 //! strict (no-recovery) filter variant.
 
+mod common;
+
+use common::{assert_census_conserved, census_slack, run_one};
 use ppf::sim::{run_grid, RunSpec};
 use ppf::types::{FilterKind, PrefetchSource, SystemConfig};
 use ppf::workloads::Workload;
@@ -39,16 +42,13 @@ fn split_tables_cut_more_bad_prefetches_at_same_budget() {
 
 #[test]
 fn victim_cache_serves_conflict_misses() {
-    let base = RunSpec::new("base", SystemConfig::paper_default(), Workload::Gcc)
-        .instructions(N)
-        .run();
-    let with_victim = RunSpec::new(
+    let base = run_one("base", SystemConfig::paper_default(), Workload::Gcc, N);
+    let with_victim = run_one(
         "victim",
         SystemConfig::paper_default().with_victim_cache(8),
         Workload::Gcc,
-    )
-    .instructions(N)
-    .run();
+        N,
+    );
     // The victim cache absorbs direct-mapped conflict misses, which shows
     // up as a lower effective L1 miss cost — IPC must not regress.
     assert!(
@@ -61,22 +61,11 @@ fn victim_cache_serves_conflict_misses() {
 
 #[test]
 fn victim_cache_census_stays_conserved() {
-    let r = RunSpec::new(
-        "v",
-        SystemConfig::paper_default()
-            .with_filter(FilterKind::Pa)
-            .with_victim_cache(8),
-        Workload::Mcf,
-    )
-    .instructions(N)
-    .run();
-    let issued = r.stats.prefetches_issued.total();
-    let classified = r.stats.good_total() + r.stats.bad_total();
-    let slack = (256 + 8 + 64) as u64; // L1 lines + victim entries + queue
-    assert!(
-        classified + slack >= issued && classified <= issued + slack,
-        "issued {issued} vs classified {classified}"
-    );
+    let cfg = SystemConfig::paper_default()
+        .with_filter(FilterKind::Pa)
+        .with_victim_cache(8);
+    let r = run_one("v", cfg.clone(), Workload::Mcf, N);
+    assert_census_conserved(&r, census_slack(&cfg));
 }
 
 #[test]
@@ -88,9 +77,7 @@ fn correlation_prefetcher_contributes_on_repetitive_chases() {
     cfg.prefetch.correlation = true;
     // em3d's chase is a fixed permutation: miss successors repeat every
     // period, which is exactly what a Markov table learns.
-    let r = RunSpec::new("corr", cfg, Workload::Em3d)
-        .instructions(N)
-        .run();
+    let r = run_one("corr", cfg, Workload::Em3d, N);
     let issued = r.stats.prefetches_issued.get(PrefetchSource::Stride);
     assert!(issued > 1_000, "correlation must fire ({issued})");
     let good = r.stats.prefetch_good.get(PrefetchSource::Stride);
@@ -108,9 +95,7 @@ fn stride_prefetcher_covers_strided_misses() {
     cfg.prefetch.sdp = false;
     cfg.prefetch.software = false;
     cfg.prefetch.stride = true;
-    let r = RunSpec::new("stride", cfg, Workload::Wave5)
-        .instructions(N)
-        .run();
+    let r = run_one("stride", cfg, Workload::Wave5, N);
     let issued = r.stats.prefetches_issued.get(PrefetchSource::Stride);
     assert!(issued > 1_000, "RPT must fire on wave5 ({issued})");
     let good = r.stats.prefetch_good.get(PrefetchSource::Stride);
@@ -130,13 +115,12 @@ fn adaptive_gate_spares_accurate_prefetching() {
         if adaptive {
             cfg.filter.adaptive_accuracy_threshold = Some(0.5);
         }
-        RunSpec::new(
+        run_one(
             if adaptive { "adaptive" } else { "always" },
             cfg,
             Workload::Wave5,
+            N,
         )
-        .instructions(N)
-        .run()
     };
     let always = mk(false);
     let adaptive = mk(true);
@@ -153,7 +137,7 @@ fn strict_filter_rejects_more_but_recovers_nothing() {
     let mk = |window: u64| {
         let mut cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
         cfg.filter.recovery_window = window;
-        RunSpec::new("x", cfg, Workload::Em3d).instructions(N).run()
+        run_one("x", cfg, Workload::Em3d, N)
     };
     let strict = mk(0);
     let recovering = mk(400);
@@ -174,7 +158,7 @@ fn nsp_degree_scales_traffic() {
     let mk = |degree: u32| {
         let mut cfg = SystemConfig::paper_default();
         cfg.prefetch.nsp_degree = degree;
-        RunSpec::new("x", cfg, Workload::Gzip).instructions(N).run()
+        run_one("x", cfg, Workload::Gzip, N)
     };
     let d1 = mk(1);
     let d4 = mk(4);

@@ -2,29 +2,15 @@
 //! watchdog, seed fan-out, and structured-error plumbing — the acceptance
 //! scenario of the robustness layer (DESIGN.md §9).
 
+mod common;
+
+use common::{drill_watchdog, wedged_config};
 use ppf_sim::experiments::{run_grid_seeds_outcomes, CellOutcome};
 use ppf_sim::{fanned_seed, run_grid, run_grid_outcomes, RunSpec, Simulator, WatchdogConfig};
 use ppf_types::{FromJson, PpfErrorKind, SystemConfig, ToJson};
 use ppf_workloads::{FaultSpec, Workload};
 
 const N: u64 = 8_000;
-
-/// A watchdog tight enough that a wedged cell trips in well under a
-/// second, loose enough that healthy 8k-instruction cells never notice.
-fn drill_watchdog() -> WatchdogConfig {
-    WatchdogConfig {
-        max_cpi: 10_000,
-        stall_window: 20_000,
-    }
-}
-
-/// A config whose memory never answers within the stall window: the
-/// fault stream's serially-dependent cold loads then wedge the pipeline.
-fn wedged_config() -> SystemConfig {
-    let mut cfg = SystemConfig::paper_default();
-    cfg.mem.latency = 1_000_000_000;
-    cfg
-}
 
 /// The acceptance drill: a 10-workload grid with one injected panicking
 /// cell and one wedged cell completes with 8 Ok / 2 Failed structured

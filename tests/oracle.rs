@@ -1,0 +1,322 @@
+//! The differential-oracle conformance campaign (DESIGN.md §11).
+//!
+//! Each campaign drives one optimized structure and its naive reference
+//! model in lockstep over seeded random event streams. A divergence is
+//! delta-minimized and written out as a self-contained JSONL repro before
+//! the test fails; the committed corpus under `tests/repros/` replays on
+//! every CI pass so once-found divergences stay pinned.
+//!
+//! Campaign size is `PPF_ORACLE_CASES` per structure (default 1000); CI
+//! sets a smaller budget on pull requests (see ci.sh and the workflow).
+
+mod common;
+
+use ppf_oracle::repro::{self, Repro};
+use ppf_oracle::{generate, harness_for, minimize, run_lockstep, Harness, RefFilter};
+use ppf_sim::{fanned_seed, FilterTapEvent};
+use ppf_types::{FilterKind, JsonValue, SystemConfig};
+use ppf_workloads::Workload;
+use std::path::{Path, PathBuf};
+
+/// Randomized cases per structure. The issue's floor is 1000; pull-request
+/// CI trims this via the environment to keep the shard fast.
+fn oracle_cases() -> u64 {
+    match std::env::var("PPF_ORACLE_CASES") {
+        Ok(v) => v
+            .parse()
+            .expect("PPF_ORACLE_CASES must be an unsigned integer"),
+        Err(_) => 1000,
+    }
+}
+
+/// Where the committed, replay-on-every-run corpus lives.
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros")
+}
+
+/// Where freshly minimized divergence repros are written. Deliberately NOT
+/// the committed corpus: a red campaign must not dirty the tree. Promote a
+/// case by moving it into `tests/repros/` (see its README.md).
+fn divergence_dir() -> PathBuf {
+    std::env::var_os("PPF_ORACLE_REPRO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("target/oracle-repros"))
+}
+
+/// Run the randomized campaign for one structure kind: on the first
+/// divergence, minimize it, write a replayable repro, and fail with the
+/// full story.
+fn campaign(kind: &str, base_seed: u64) {
+    let cases = oracle_cases();
+    for s in 0..cases {
+        let seed = fanned_seed(base_seed, s as u32);
+        let (config, events) = generate::case(kind, seed);
+        let mut h = harness_for(kind, &config)
+            .unwrap_or_else(|e| panic!("{kind} seed {seed:#x}: generator made a bad config: {e}"));
+        let Some(d) = run_lockstep(&mut *h, &events) else {
+            continue;
+        };
+        let minimized = minimize(&mut *h, &events);
+        let r = Repro::capture(
+            &*h,
+            minimized,
+            Some(format!("campaign kind={kind} seed={seed:#x}: {}", d.detail)),
+        );
+        r.replay().expect_err("minimized stream must still diverge");
+        let name = format!("diverged-{kind}-{seed:016x}");
+        let written = match repro::write_repro(&divergence_dir(), &name, &r) {
+            Ok(p) => p.display().to_string(),
+            Err(e) => format!("<write failed: {e}>"),
+        };
+        panic!(
+            "{kind} campaign diverged (seed {seed:#x}, step {}): {}\n\
+             event: {}\n\
+             minimized to {} event(s); repro written to {written}\n\
+             promote it into tests/repros/ to pin the case permanently",
+            d.step,
+            d.detail,
+            d.event,
+            r.events.len()
+        );
+    }
+}
+
+#[test]
+fn cache_campaign() {
+    campaign("cache", 0x0A11_CACE);
+}
+
+#[test]
+fn filter_campaign() {
+    campaign("filter", 0x0A11_F117);
+}
+
+#[test]
+fn mshr_campaign() {
+    campaign("mshr", 0x0A11_0517);
+}
+
+#[test]
+fn ports_campaign() {
+    campaign("ports", 0x0A11_7017);
+}
+
+/// Every committed repro must parse and replay clean on the current tree —
+/// a once-found (or hand-pinned) behaviour that drifts is a regression.
+#[test]
+fn replay_committed_corpus() {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("committed corpus missing at {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("readable corpus dir").path();
+            (path.extension().is_some_and(|x| x == "jsonl")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 3,
+        "seed corpus must hold at least 3 cases, found {}: {files:?}",
+        files.len()
+    );
+    for f in &files {
+        let text = std::fs::read_to_string(f).expect("readable repro");
+        let r = Repro::parse_jsonl(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", f.display()));
+        r.replay()
+            .unwrap_or_else(|e| panic!("{} no longer replays clean: {e}", f.display()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker validation on a synthetic harness
+// ---------------------------------------------------------------------------
+
+/// A harness with a known minimal failure: it "diverges" on the second
+/// `bad` event it sees, whatever noise surrounds them. The true minimum is
+/// therefore exactly two `bad` events.
+struct ToyHarness {
+    bad_seen: u32,
+}
+
+impl Harness for ToyHarness {
+    fn kind(&self) -> &'static str {
+        "toy"
+    }
+
+    fn config(&self) -> JsonValue {
+        JsonValue::Null
+    }
+
+    fn reset(&mut self) {
+        self.bad_seen = 0;
+    }
+
+    fn step(&mut self, event: &JsonValue) -> Result<(), String> {
+        if event.get("op").and_then(JsonValue::as_str) == Some("bad") {
+            self.bad_seen += 1;
+            if self.bad_seen == 2 {
+                return Err("second bad event".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn shrinker_finds_the_two_event_minimum() {
+    let bad = JsonValue::parse(r#"{"op":"bad"}"#).unwrap();
+    let mut events: Vec<JsonValue> = (0..40)
+        .map(|i| JsonValue::parse(&format!(r#"{{"op":"noise","i":{i}}}"#)).unwrap())
+        .collect();
+    events[7] = bad.clone();
+    events[23] = bad.clone();
+
+    let mut h = ToyHarness { bad_seen: 0 };
+    let min = minimize(&mut h, &events);
+    assert_eq!(min, vec![bad.clone(), bad], "ddmin must reach the minimum");
+    let d = run_lockstep(&mut h, &min).expect("minimized stream still diverges");
+    assert_eq!(d.step, 1, "divergence sits on the last event");
+
+    // The minimized stream survives the repro wire format byte-for-byte.
+    let r = Repro::capture(&h, min.clone(), Some("synthetic shrinker check".into()));
+    let parsed = Repro::parse_jsonl(&r.to_jsonl()).expect("round trip");
+    assert_eq!(parsed.events, min);
+    assert_eq!(parsed.kind, "toy");
+}
+
+#[test]
+fn non_diverging_stream_is_returned_unchanged() {
+    let events: Vec<JsonValue> = (0..10)
+        .map(|i| JsonValue::parse(&format!(r#"{{"op":"noise","i":{i}}}"#)).unwrap())
+        .collect();
+    let mut h = ToyHarness { bad_seen: 0 };
+    assert_eq!(minimize(&mut h, &events), events);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the live simulator's filter traffic replays into the oracle
+// ---------------------------------------------------------------------------
+
+/// The sim-side tap records every decision the real pollution filter made
+/// during a full simulation; replaying the stream into the untimed oracle
+/// must reproduce every admit/drop decision and the exact final counter
+/// state. This closes the loop between the unit-level campaign and the
+/// integrated machine.
+#[test]
+fn live_sim_filter_traffic_replays_into_the_oracle() {
+    let cfg = SystemConfig::paper_default().with_filter(FilterKind::Pa);
+    let filter_cfg = cfg.filter.clone();
+    let mut sim = common::sim(cfg, Workload::Em3d, 9);
+    sim.mem_system_mut().enable_filter_tap();
+    sim.run(60_000);
+    let tap = sim.mem_system_mut().take_filter_tap();
+    assert!(
+        tap.len() > 1_000,
+        "tap must see real traffic, got {} events",
+        tap.len()
+    );
+
+    let mut oracle = RefFilter::new(&filter_cfg).expect("paper config is oracle-checkable");
+    for (i, ev) in tap.iter().enumerate() {
+        match *ev {
+            FilterTapEvent::Lookup {
+                line,
+                pc,
+                source,
+                now,
+                admitted,
+            } => {
+                let o = oracle.lookup(line, pc, source, now);
+                assert_eq!(
+                    o, admitted,
+                    "tap step {i}: oracle disagrees with the live decision on {ev:?}"
+                );
+            }
+            FilterTapEvent::Evict {
+                line,
+                pc,
+                source,
+                referenced,
+            } => oracle.evict(line, pc, source, referenced),
+            FilterTapEvent::DemandMiss { line, now } => oracle.demand_miss(line, now),
+        }
+    }
+
+    let real = sim.mem_system().filter();
+    assert_eq!(
+        real.counter_snapshot(),
+        oracle.counters().to_vec(),
+        "final counter tables must match"
+    );
+    assert_eq!(real.chooser_snapshot().as_deref(), oracle.chooser());
+    assert_eq!(*real.stats(), oracle.stats(), "final stats must match");
+}
+
+// ---------------------------------------------------------------------------
+// Seed corpus (re)generation
+// ---------------------------------------------------------------------------
+
+/// The three hand-pinned seed cases. Kept as literals so the committed
+/// files and this source agree; `regenerate_seed_corpus` rewrites them.
+const SEED_CORPUS: &[(&str, &str)] = &[
+    (
+        "cache-pib-rib-eviction-feedback",
+        r#"# A referenced prefetch leaves the cache as good (RIB set); an untouched
+# one leaves as bad — the eviction feedback that trains the filter.
+{"version":1,"kind":"cache","config":{"size_bytes":128,"line_bytes":32,"ways":2,"policy":"Lru"},"note":"PIB/RIB lifecycle: referenced prefetch evicts good, untouched prefetch evicts bad"}
+{"op":"fill_prefetch","line":4,"pc":4096,"source":"Nsp"}
+{"op":"probe","line":4,"write":false}
+{"op":"fill_prefetch","line":6,"pc":4100,"source":"Sdp"}
+{"op":"fill_demand","line":8}
+{"op":"fill_demand","line":10}
+{"op":"contains","line":8}
+{"op":"invalidate","line":10}
+"#,
+    ),
+    (
+        "mshr-merge-and-replacement",
+        r#"# Same-line inserts merge keeping the later completion; a full file
+# replaces the first soonest-completing live entry.
+{"version":1,"kind":"mshr","config":{"cap":2},"note":"merge keeps later ready_at; full file replaces first-minimal live slot"}
+{"op":"insert","line":5,"ready_at":100,"now":0}
+{"op":"insert","line":5,"ready_at":80,"now":10}
+{"op":"ready_at","line":5,"now":20}
+{"op":"insert","line":6,"ready_at":90,"now":20}
+{"op":"insert","line":7,"ready_at":300,"now":20}
+{"op":"live","now":50}
+"#,
+    ),
+    (
+        "filter-drop-and-recovery",
+        r#"# Two bad evictions drive the counter below threshold, the next lookup is
+# dropped and logged; a fresh demand miss recovers it, and a good eviction
+# restores admission.
+{"version":1,"kind":"filter","config":{"kind":"Pa","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false},"note":"drop decision, reject-log recovery, re-admission"}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","referenced":false}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","now":50}
+{"op":"demand_miss","line":5,"now":120}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","now":200}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","referenced":true}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","now":300}
+"#,
+    ),
+];
+
+/// Rewrite `tests/repros/` from the literals above. Run with
+/// `cargo test --test oracle regenerate_seed_corpus -- --ignored` after
+/// editing a case; every case is validated (parse + clean replay) before
+/// anything is written.
+#[test]
+#[ignore = "writes into the source tree; run explicitly to refresh the corpus"]
+fn regenerate_seed_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, text) in SEED_CORPUS {
+        let r = Repro::parse_jsonl(text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        r.replay()
+            .unwrap_or_else(|e| panic!("{name} does not replay clean: {e}"));
+        std::fs::write(dir.join(format!("{name}.jsonl")), text).expect("write corpus case");
+    }
+}

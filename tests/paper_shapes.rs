@@ -2,6 +2,9 @@
 //! substrate is a synthetic model, see EXPERIMENTS.md) but the direction
 //! and rough magnitude of every headline claim.
 
+mod common;
+
+use common::{by, run_one};
 use ppf::sim::{run_grid, RunSpec, SimReport};
 use ppf::types::{FilterKind, SystemConfig};
 use ppf::workloads::Workload;
@@ -9,19 +12,7 @@ use ppf::workloads::Workload;
 const N: u64 = 400_000;
 
 fn filter_grid(base: SystemConfig) -> Vec<SimReport> {
-    let mut grid = Vec::new();
-    for kind in [FilterKind::None, FilterKind::Pa, FilterKind::Pc] {
-        for &w in &Workload::ALL {
-            grid.push(
-                RunSpec::new(kind.label(), base.clone().with_filter(kind), w).instructions(N),
-            );
-        }
-    }
-    run_grid(grid)
-}
-
-fn by<'a>(r: &'a [SimReport], label: &str) -> Vec<&'a SimReport> {
-    r.iter().filter(|x| x.label == label).collect()
+    common::filter_grid(base, N)
 }
 
 #[test]
@@ -198,14 +189,10 @@ fn port_starved_machine_shows_contention() {
     // contend with prefetch traffic.
     let mut cfg = SystemConfig::paper_default();
     cfg.l1.ports = 1;
-    let r = RunSpec::new("1port", cfg, Workload::Em3d)
-        .instructions(N)
-        .run();
+    let r = run_one("1port", cfg, Workload::Em3d, N);
     assert!(r.stats.demand_port_retries > 0);
     assert!(r.stats.l1_port_conflict_cycles > 0);
-    let r3 = RunSpec::new("3port", SystemConfig::paper_default(), Workload::Em3d)
-        .instructions(N)
-        .run();
+    let r3 = run_one("3port", SystemConfig::paper_default(), Workload::Em3d, N);
     assert!(
         r3.ipc() > r.ipc(),
         "three ports must beat one ({:.3} vs {:.3})",

@@ -6,7 +6,8 @@
 //! figures pipeline relies on when it instruments sweeps, and the one the
 //! bench-smoke throughput gate protects on the off path.
 
-use ppf_sim::Simulator;
+mod common;
+
 use ppf_types::telemetry::{self, JsonlSink, TelemetryConfig};
 use ppf_types::{SimStats, SystemConfig};
 use ppf_workloads::Workload;
@@ -15,16 +16,7 @@ use proptest::prelude::*;
 const N: u64 = 40_000;
 
 fn run_with(telemetry: Option<TelemetryConfig>, workload: Workload, seed: u64) -> SimStats {
-    let mut sim = Simulator::with_seed(
-        SystemConfig::paper_default(),
-        Box::new(workload.stream(seed)),
-        seed,
-    )
-    .expect("valid config");
-    if let Some(cfg) = telemetry {
-        sim = sim.with_telemetry(&cfg).expect("valid telemetry config");
-    }
-    sim.run(N).stats
+    common::run_with_telemetry(telemetry, workload, seed, N)
 }
 
 #[test]
@@ -63,14 +55,9 @@ proptest! {
 
 #[test]
 fn real_run_records_round_trip_through_jsonl_sink() {
-    let mut sim = Simulator::with_seed(
-        SystemConfig::paper_default(),
-        Box::new(Workload::Wave5.stream(7)),
-        7,
-    )
-    .unwrap()
-    .with_telemetry(&TelemetryConfig::every(2_000))
-    .unwrap();
+    let mut sim = common::sim(SystemConfig::paper_default(), Workload::Wave5, 7)
+        .with_telemetry(&TelemetryConfig::every(2_000))
+        .unwrap();
     sim.run(N);
     let records = sim.take_telemetry_records();
     assert!(!records.is_empty());
