@@ -47,6 +47,20 @@ oracle() {
     cargo test --release -q --test oracle
 }
 
+attack_drills() {
+    # Adversarial robustness drills (DESIGN.md §12): the attack-vs-hardening
+    # matrix at a trimmed budget through the release figures binary, then
+    # one timeline run that must produce a time-to-recover analysis for a
+    # poisoning campaign on the hybrid filter. Lockstep conformance of the
+    # hardened configurations is the oracle shard's job; this one proves
+    # the attack plumbing end-to-end.
+    cargo build --release -p ppf-bench
+    ./target/release/figures --insts 20000 attack-matrix > /dev/null
+    ./target/release/bench timeline em3d --filter hybrid --insts 60000 \
+        --attack poison --attack-start 10000 --attack-stop 30000 \
+        | grep -q 'recovery:'
+}
+
 bench_smoke() {
     # Perf gate: quick throughput run compared against the committed
     # baseline; exits non-zero if any layer regresses past the threshold.
@@ -61,16 +75,18 @@ case "$stage" in
 build-test) build_test ;;
 lint) lint ;;
 fault-drills) fault_drills ;;
+attack-drills) attack_drills ;;
 oracle) oracle ;;
 bench-smoke) bench_smoke ;;
 all)
     build_test
     lint
     fault_drills
+    attack_drills
     oracle
     ;;
 *)
-    echo "unknown stage: $stage (build-test|lint|fault-drills|oracle|bench-smoke|all)" >&2
+    echo "unknown stage: $stage (build-test|lint|fault-drills|attack-drills|oracle|bench-smoke|all)" >&2
     exit 2
     ;;
 esac

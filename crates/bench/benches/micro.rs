@@ -68,6 +68,7 @@ fn bench_history_table(c: &mut Criterion) {
                 line: LineAddr(rng.below(1 << 20)),
                 trigger_pc: rng.below(1 << 16) * 4,
                 source: PrefetchSource::Nsp,
+                tenant: 0,
             };
             let d = f.should_prefetch(&req, now);
             if !d {

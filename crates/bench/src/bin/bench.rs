@@ -21,18 +21,27 @@
 //! which the history table stabilizes. `--json` emits the full record
 //! series plus analysis as one JSON document instead of the table.
 //!
+//! With `--attack KIND` the stream carries an adversarial campaign
+//! (poison, alias-flood, phase-shift or interleave; window set by
+//! `--attack-start`/`--attack-stop` in instructions) and the report gains
+//! a time-to-recover analysis: how far `fraction_good` fell under attack
+//! and how many intervals after attack-off it took to climb back within
+//! the recovery band of the pre-attack baseline.
+//!
 //! Exit codes: 0 success, 1 usage or I/O errors, 3 perf regression.
 
 use ppf_bench::{throughput, timeline};
 use ppf_types::{FilterKind, ToJson};
-use ppf_workloads::Workload;
+use ppf_workloads::{AdversarySpec, AttackKind, Workload};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench throughput [--quick] [--out PATH] [--no-write]\n\
      \x20                       [--baseline PATH] [--max-regress PCT]\n\
      \x20      bench timeline [WORKLOAD] [--filter PA|PC|hybrid|none] [--insts N]\n\
-     \x20                     [--interval CYCLES] [--seed S] [--json]";
+     \x20                     [--interval CYCLES] [--seed S] [--json]\n\
+     \x20                     [--attack poison|alias-flood|phase-shift|interleave]\n\
+     \x20                     [--attack-start N] [--attack-stop N]";
 
 /// Exit code for "ran fine, but MIPS regressed beyond the threshold".
 const EXIT_REGRESSION: u8 = 3;
@@ -50,9 +59,44 @@ fn parse_filter(name: &str) -> Option<FilterKind> {
 fn timeline_main(args: &[String]) -> ExitCode {
     let mut settings = timeline::TimelineSettings::default();
     let mut json = false;
+    let mut attack: Option<AttackKind> = None;
+    let mut attack_start: Option<u64> = None;
+    let mut attack_stop: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--attack" => {
+                i += 1;
+                match args.get(i).and_then(|s| AttackKind::from_name(s)) {
+                    Some(kind) => attack = Some(kind),
+                    None => {
+                        eprintln!(
+                            "--attack needs one of poison|alias-flood|phase-shift|interleave\n{USAGE}"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--attack-start" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => attack_start = Some(n),
+                    None => {
+                        eprintln!("--attack-start needs an instruction index\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--attack-stop" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => attack_stop = Some(n),
+                    None => {
+                        eprintln!("--attack-stop needs an instruction index\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--filter" => {
                 i += 1;
                 match args.get(i).and_then(|s| parse_filter(s)) {
@@ -111,6 +155,27 @@ fn timeline_main(args: &[String]) -> ExitCode {
             },
         }
         i += 1;
+    }
+    match attack {
+        Some(kind) => {
+            let mut spec = AdversarySpec::campaign(kind);
+            if let Some(s) = attack_start {
+                spec.start = s;
+            }
+            if let Some(s) = attack_stop {
+                spec.stop = s;
+            }
+            if spec.start >= spec.stop {
+                eprintln!("--attack-start must be below --attack-stop\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            settings.attack = Some(spec);
+        }
+        None if attack_start.is_some() || attack_stop.is_some() => {
+            eprintln!("--attack-start/--attack-stop need --attack KIND\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        None => {}
     }
     match timeline::run(&settings) {
         Ok(report) => {

@@ -38,6 +38,9 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// these yields a different key, invalidating the old checkpoint entry.
 pub fn cell_key(spec: &RunSpec) -> String {
     let mut h = FNV_OFFSET;
+    // Attack-free cells keep their pre-adversary keys (empty part), so
+    // existing checkpoint directories stay valid.
+    let adversary = spec.adversary.map(|a| a.describe()).unwrap_or_default();
     for part in [
         spec.label.as_str(),
         &spec.config.to_json_string(),
@@ -45,6 +48,7 @@ pub fn cell_key(spec: &RunSpec) -> String {
         &spec.seed.to_string(),
         &spec.n_instructions.to_string(),
         &spec.warmup.to_string(),
+        &adversary,
     ] {
         h = fnv1a(h, part.as_bytes());
         // Field separator so ("ab","c") and ("a","bc") cannot collide.

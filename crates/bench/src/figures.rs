@@ -17,12 +17,12 @@ use ppf_sim::report::{f3, geomean, mean, pct, TextTable};
 use ppf_sim::{CellFailure, SimReport};
 use ppf_types::telemetry::TelemetryConfig;
 use ppf_types::{json_struct, PpfError};
-use ppf_workloads::{FaultSpec, Workload};
+use ppf_workloads::{AttackKind, FaultSpec, Workload};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// All experiment names accepted by [`run_experiment`].
-pub const EXPERIMENTS: [&str; 31] = [
+pub const EXPERIMENTS: [&str; 32] = [
     "table1",
     "table2",
     "calibrate",
@@ -54,6 +54,7 @@ pub const EXPERIMENTS: [&str; 31] = [
     "ablate-banks",
     "ablate-hybrid",
     "ablate-mix",
+    "attack-matrix",
 ];
 
 /// Options for one experiment invocation beyond the instruction budget.
@@ -242,6 +243,7 @@ pub fn run_experiment_full(
                 "Ablation: prefetcher mix (stride RPT, Markov correlation)",
             )
         }),
+        "attack-matrix" => run_and(name, experiments::attack_matrix(insts), attack_matrix),
         other => Err(PpfError::config_invalid(format!(
             "unknown experiment '{other}'"
         ))),
@@ -432,9 +434,16 @@ fn partial_results(name: &str, outcomes: &[CellOutcome]) -> String {
 pub fn failure_appendix(failures: &[CellFailure]) -> String {
     let mut out = String::from("failed cells:\n");
     for f in failures {
+        // Under-attack cells name the attacking tenant, so an operator
+        // triaging a partial adversarial sweep knows who was hammering
+        // the machine when the cell died.
+        let tenant = f
+            .attacking_tenant
+            .map(|t| format!(" [under attack by tenant {t}]"))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "  {}/{} seed {} ({} attempts): {}",
+            "  {}/{} seed {} ({} attempts){tenant}: {}",
             f.label, f.workload, f.seed, f.attempts, f.error
         );
     }
@@ -1164,6 +1173,75 @@ pub fn cache_vs_table(reports: &[SimReport]) -> String {
     let _ = writeln!(
         out,
         "(paper: 16KB L1 gains ~20%; adding the 1KB table to 8KB is the\n cheaper alternative per byte)"
+    );
+    out
+}
+
+/// Hardening levels in the attack matrix, in the order the summary walks
+/// them (mirrors `experiments::HARDENINGS`).
+const HARDENING_ORDER: [&str; 4] = ["unhardened", "salted", "partitioned", "hardened"];
+
+/// Filters covered by the attack matrix (`FilterKind::label` spellings).
+const ATTACK_FILTERS: [&str; 3] = ["PA", "PC", "hybrid"];
+
+/// Fraction of classified prefetches that were good (1.0 when the cell
+/// classified nothing — no pollution observed).
+fn fraction_good(r: &SimReport) -> f64 {
+    let good = r.stats.good_total();
+    let bad = r.stats.bad_total();
+    if good + bad == 0 {
+        1.0
+    } else {
+        good as f64 / (good + bad) as f64
+    }
+}
+
+/// The adversarial attack-vs-hardening matrix (DESIGN.md §12): one row per
+/// filter × attack (plus the clean baseline), one column per hardening
+/// level, cells showing `fraction_good` over the whole run. The footer
+/// compares fully hardened (salt + partitions) against unhardened across
+/// every attacked cell.
+pub fn attack_matrix(reports: &[SimReport]) -> String {
+    let mut out = header("Attack matrix: fraction_good per attack and hardening level");
+    let mut cols = vec!["filter".to_string(), "attack".to_string()];
+    cols.extend(HARDENING_ORDER.iter().map(|h| h.to_string()));
+    let mut t = TextTable::new(cols);
+    let find = |label: String| reports.iter().find(|r| r.label == label);
+    let mut unhardened = Vec::new();
+    let mut hardened = Vec::new();
+    let attacks: Vec<String> = std::iter::once("clean".to_string())
+        .chain(AttackKind::ALL.iter().map(|a| a.to_string()))
+        .collect();
+    for filter in ATTACK_FILTERS {
+        for attack in &attacks {
+            let mut row = vec![filter.to_string(), attack.clone()];
+            let mut cells: Vec<Option<f64>> = Vec::new();
+            for h in HARDENING_ORDER {
+                let fg = find(format!("{filter}/{h}/{attack}")).map(fraction_good);
+                row.push(fg.map(f3).unwrap_or_else(|| "—".to_string()));
+                cells.push(fg);
+            }
+            if attack != "clean" {
+                if let (Some(u), Some(hd)) = (cells[0], cells[3]) {
+                    unhardened.push(u);
+                    hardened.push(hd);
+                }
+            }
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "mean under-attack fraction_good: unhardened {} vs hardened (salt+partition) {} ({:+.1}pt)",
+        f3(mean(&unhardened)),
+        f3(mean(&hardened)),
+        100.0 * (mean(&hardened) - mean(&unhardened)),
+    );
+    let _ = writeln!(
+        out,
+        "clean rows are the attack-free baseline of each configuration; \
+         attacks run from an eighth to the midpoint of the measured window"
     );
     out
 }

@@ -8,17 +8,23 @@
 //! bad-prefetch burst is before the history table converges — the §4
 //! training dynamics the paper describes but never plots.
 
+use ppf_cpu::InstStream;
 use ppf_sim::Simulator;
 use ppf_types::json_struct;
 use ppf_types::telemetry::{IntervalRecord, TelemetryConfig};
 use ppf_types::{FilterKind, PpfError, SystemConfig};
-use ppf_workloads::Workload;
+use ppf_workloads::{AdversarySpec, AdversaryStream, Workload};
 
 use ppf_sim::report::{f3, TextTable};
 
 /// Convergence band: `fraction_good` counts as stable once every later
 /// sample stays within this distance of the final value.
 pub const STABLE_EPSILON: f64 = 0.02;
+
+/// Recovery band: after an attack window closes, the filter counts as
+/// recovered once `fraction_good` climbs back within this distance of the
+/// pre-attack baseline (one-sided — overshooting the baseline is fine).
+pub const RECOVERY_EPSILON: f64 = 0.05;
 
 /// Maximum table rows rendered (the full series is always in `--json`).
 const MAX_ROWS: usize = 40;
@@ -36,6 +42,9 @@ pub struct TimelineSettings {
     pub interval_cycles: u64,
     /// Stream seed.
     pub seed: u64,
+    /// Adversarial campaign to interleave into the stream (None = the
+    /// plain warm-up trace).
+    pub attack: Option<AdversarySpec>,
 }
 
 impl Default for TimelineSettings {
@@ -46,6 +55,7 @@ impl Default for TimelineSettings {
             insts: 400_000,
             interval_cycles: 5_000,
             seed: 42,
+            attack: None,
         }
     }
 }
@@ -86,6 +96,47 @@ json_struct!(WarmupAnalysis {
     bad_rate_after_stable,
 });
 
+/// Time-to-recover shape of a run with an adversarial campaign: how far
+/// `fraction_good` fell under attack, and how long after attack-off it
+/// took to climb back within [`RECOVERY_EPSILON`] of the pre-attack
+/// baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAnalysis {
+    /// The campaign, in `kind@start..stop` form.
+    pub attack: String,
+    /// First attacked instruction (stream index).
+    pub attack_start: u64,
+    /// First post-attack instruction (stream index).
+    pub attack_stop: u64,
+    /// Mean `fraction_good` over the intervals fully before the attack
+    /// (falls back to the first interval when the attack starts at 0).
+    pub baseline_fraction_good: f64,
+    /// Mean `fraction_good` over the intervals overlapping the attack.
+    pub under_attack_fraction_good: f64,
+    /// Lowest `fraction_good` seen from attack-on onwards.
+    pub trough_fraction_good: f64,
+    /// Did `fraction_good` return within the recovery band post-attack?
+    pub recovered: bool,
+    /// Post-attack intervals elapsed until recovery (0 = the first
+    /// interval after attack-off was already in the band).
+    pub intervals_to_recover: u64,
+    /// The same span in cycles, measured from the first post-attack
+    /// interval's start.
+    pub cycles_to_recover: u64,
+}
+
+json_struct!(RecoveryAnalysis {
+    attack,
+    attack_start,
+    attack_stop,
+    baseline_fraction_good,
+    under_attack_fraction_good,
+    trough_fraction_good,
+    recovered,
+    intervals_to_recover,
+    cycles_to_recover,
+});
+
 /// The full timeline result: the interval series plus its analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimelineReport {
@@ -101,6 +152,8 @@ pub struct TimelineReport {
     pub records: Vec<IntervalRecord>,
     /// Warm-up shape derived from the series.
     pub analysis: WarmupAnalysis,
+    /// Time-to-recover shape, present when the run carried an attack.
+    pub recovery: Option<RecoveryAnalysis>,
 }
 
 json_struct!(TimelineReport {
@@ -110,6 +163,7 @@ json_struct!(TimelineReport {
     interval_cycles,
     records,
     analysis,
+    recovery,
 });
 
 /// Derive the warm-up shape from an interval series. An empty series — a
@@ -167,19 +221,98 @@ pub fn analyze(records: &[IntervalRecord]) -> WarmupAnalysis {
     }
 }
 
+/// Derive the time-to-recover shape of an attacked run. Intervals are
+/// mapped onto the attack window by cumulative retired instructions:
+/// "baseline" intervals end before the attack starts, "under attack"
+/// intervals overlap the window, and recovery is scanned over the
+/// intervals starting at or after attack-off. An empty series or a
+/// window past the end of the run yields an explicitly non-recovered
+/// analysis rather than panicking.
+pub fn analyze_recovery(records: &[IntervalRecord], attack: &AdversarySpec) -> RecoveryAnalysis {
+    let mut neutral = RecoveryAnalysis {
+        attack: attack.describe(),
+        attack_start: attack.start,
+        attack_stop: attack.stop,
+        baseline_fraction_good: 0.0,
+        under_attack_fraction_good: 0.0,
+        trough_fraction_good: 0.0,
+        recovered: false,
+        intervals_to_recover: 0,
+        cycles_to_recover: 0,
+    };
+    if records.is_empty() {
+        return neutral;
+    }
+    // Cumulative retired instructions at each interval boundary: interval
+    // i covers (cum[i], cum[i + 1]] in stream index terms.
+    let mut cum = 0u64;
+    let mut baseline = Vec::new();
+    let mut under = Vec::new();
+    let mut first_post: Option<usize> = None;
+    for (i, r) in records.iter().enumerate() {
+        let (lo, hi) = (cum, cum + r.instructions);
+        cum = hi;
+        if hi <= attack.start {
+            baseline.push(r.fraction_good);
+        } else if lo < attack.stop {
+            under.push(r.fraction_good);
+        } else if first_post.is_none() {
+            first_post = Some(i);
+        }
+    }
+    let fg_mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    // An attack opening at instruction 0 has no clean intervals; the
+    // filter's weakly-good start (the first sample) is then the fairest
+    // "what it should get back to" reference.
+    neutral.baseline_fraction_good = if baseline.is_empty() {
+        records[0].fraction_good
+    } else {
+        fg_mean(&baseline)
+    };
+    neutral.under_attack_fraction_good = fg_mean(&under);
+    neutral.trough_fraction_good = records[baseline.len()..]
+        .iter()
+        .map(|r| r.fraction_good)
+        .fold(f64::INFINITY, f64::min)
+        .min(records[records.len() - 1].fraction_good);
+    let Some(post) = first_post else {
+        return neutral; // attack window runs past the end of the series
+    };
+    let off_cycle = records[post].start_cycle;
+    for (k, r) in records[post..].iter().enumerate() {
+        if r.fraction_good >= neutral.baseline_fraction_good - RECOVERY_EPSILON {
+            neutral.recovered = true;
+            neutral.intervals_to_recover = k as u64;
+            neutral.cycles_to_recover = r.end_cycle - off_cycle;
+            break;
+        }
+    }
+    neutral
+}
+
 /// Run the instrumented cell and build the report.
 pub fn run(settings: &TimelineSettings) -> Result<TimelineReport, PpfError> {
     let cfg = SystemConfig::paper_default().with_filter(settings.filter);
-    let mut sim = Simulator::with_seed(
-        cfg,
-        Box::new(settings.workload.stream(settings.seed)),
-        settings.seed,
-    )?
-    .labeled(
-        format!("timeline-{}", settings.filter.label()),
-        settings.workload.name(),
-    )
-    .with_telemetry(&TelemetryConfig::every(settings.interval_cycles))?;
+    let stream: Box<dyn InstStream> = match settings.attack {
+        Some(attack) => Box::new(AdversaryStream::new(
+            attack,
+            settings.workload,
+            settings.seed,
+        )),
+        None => Box::new(settings.workload.stream(settings.seed)),
+    };
+    let mut sim = Simulator::with_seed(cfg, stream, settings.seed)?
+        .labeled(
+            format!("timeline-{}", settings.filter.label()),
+            settings.workload.name(),
+        )
+        .with_telemetry(&TelemetryConfig::every(settings.interval_cycles))?;
     // Deliberately no warm-up: interval 0 starts at the cold machine, so
     // the filter's weakly-good transient is on the curve.
     sim.run_checked(settings.insts)?;
@@ -192,6 +325,10 @@ pub fn run(settings: &TimelineSettings) -> Result<TimelineReport, PpfError> {
         )));
     }
     let analysis = analyze(&records);
+    let recovery = settings
+        .attack
+        .as_ref()
+        .map(|a| analyze_recovery(&records, a));
     Ok(TimelineReport {
         workload: settings.workload.name().to_string(),
         filter: settings.filter.label().to_string(),
@@ -199,6 +336,7 @@ pub fn run(settings: &TimelineSettings) -> Result<TimelineReport, PpfError> {
         interval_cycles: settings.interval_cycles,
         records,
         analysis,
+        recovery,
     })
 }
 
@@ -267,6 +405,26 @@ pub fn render(report: &TimelineReport) -> String {
         f3(a.bad_rate_before_stable),
         f3(a.bad_rate_after_stable),
     ));
+    if let Some(r) = &report.recovery {
+        out.push_str(&format!(
+            "attack {}: fraction_good baseline {} -> under attack {} (trough {})\n",
+            r.attack,
+            f3(r.baseline_fraction_good),
+            f3(r.under_attack_fraction_good),
+            f3(r.trough_fraction_good),
+        ));
+        out.push_str(&if r.recovered {
+            format!(
+                "recovery: within ±{RECOVERY_EPSILON} of baseline {} intervals \
+                 ({} cycles) after attack-off\n",
+                r.intervals_to_recover, r.cycles_to_recover
+            )
+        } else {
+            "recovery: NOT recovered by end of run — raise --insts or widen \
+             the post-attack window\n"
+                .to_string()
+        });
+    }
     out
 }
 
@@ -325,6 +483,78 @@ mod tests {
         assert_eq!(a.bad_rate_before_stable, 0.0);
     }
 
+    /// A synthetic attacked series: each interval retires 100 instructions.
+    fn fg_series(fgs: &[f64]) -> Vec<IntervalRecord> {
+        fgs.iter()
+            .enumerate()
+            .map(|(i, &fg)| {
+                let mut r = rec(i as u64, fg, 1);
+                r.instructions = 100;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn analyze_recovery_maps_intervals_onto_the_window() {
+        use ppf_workloads::AttackKind;
+        // Intervals 0..3 clean (fg 0.9), 3..6 attacked (fg 0.5), then the
+        // post-attack climb back toward baseline.
+        let records = fg_series(&[0.9, 0.9, 0.9, 0.5, 0.5, 0.5, 0.6, 0.8, 0.88, 0.9]);
+        let spec = AdversarySpec::window(AttackKind::Poison, 300, 600);
+        let r = analyze_recovery(&records, &spec);
+        assert_eq!(r.attack_start, 300);
+        assert_eq!(r.attack_stop, 600);
+        assert!((r.baseline_fraction_good - 0.9).abs() < 1e-12);
+        assert!((r.under_attack_fraction_good - 0.5).abs() < 1e-12);
+        assert!((r.trough_fraction_good - 0.5).abs() < 1e-12);
+        assert!(r.recovered);
+        // 0.6 and 0.8 miss the 0.9 - 0.05 band; 0.88 is the first hit,
+        // two intervals after attack-off.
+        assert_eq!(r.intervals_to_recover, 2);
+        assert_eq!(
+            r.cycles_to_recover,
+            records[8].end_cycle - records[6].start_cycle
+        );
+    }
+
+    #[test]
+    fn analyze_recovery_flags_an_unrecovered_series() {
+        use ppf_workloads::AttackKind;
+        let records = fg_series(&[0.9, 0.9, 0.5, 0.5, 0.6, 0.6]);
+        let spec = AdversarySpec::window(AttackKind::AliasFlood, 200, 400);
+        let r = analyze_recovery(&records, &spec);
+        assert!(!r.recovered, "0.6 never reaches 0.9 - 0.05");
+        assert_eq!(r.intervals_to_recover, 0);
+    }
+
+    #[test]
+    fn analyze_recovery_with_window_past_the_end_is_neutral() {
+        use ppf_workloads::AttackKind;
+        let records = fg_series(&[0.9, 0.9]);
+        let spec = AdversarySpec::window(AttackKind::PhaseShift, 100, 10_000);
+        let r = analyze_recovery(&records, &spec);
+        assert!(!r.recovered, "no post-attack interval to recover in");
+    }
+
+    #[test]
+    fn attacked_timeline_carries_a_recovery_analysis() {
+        use ppf_workloads::AttackKind;
+        let settings = TimelineSettings {
+            insts: 120_000,
+            attack: Some(AdversarySpec::window(AttackKind::Poison, 20_000, 60_000)),
+            ..TimelineSettings::default()
+        };
+        let a = run(&settings).expect("attacked timeline runs");
+        let b = run(&settings).expect("attacked timeline runs");
+        assert_eq!(a, b, "pinned seed => identical attacked series");
+        let rec = a.recovery.as_ref().expect("attack => recovery analysis");
+        assert_eq!(rec.attack, "poison@20000..60000");
+        let text = render(&a);
+        assert!(text.contains("attack poison@20000..60000"), "{text}");
+        assert!(text.contains("recovery:"), "{text}");
+    }
+
     #[test]
     fn timeline_run_is_deterministic_and_shows_warmup() {
         let settings = TimelineSettings::default();
@@ -368,6 +598,7 @@ mod tests {
             interval_cycles: 100,
             analysis: analyze(&records),
             records,
+            recovery: None,
         }
     }
 
@@ -418,6 +649,7 @@ mod tests {
             interval_cycles: 100,
             analysis: analyze(&records),
             records,
+            recovery: None,
         };
         let text = render(&report);
         assert!(text.lines().count() < 60, "downsampled: {}", text.len());

@@ -6,7 +6,7 @@ use ppf_bench::checkpoint::{cell_path, run_grid_checkpointed, run_grid_seeds_che
 use ppf_sim::experiments::CellOutcome;
 use ppf_sim::{RunSpec, WatchdogConfig};
 use ppf_types::{PpfErrorKind, SystemConfig};
-use ppf_workloads::{FaultSpec, Workload};
+use ppf_workloads::{AdversarySpec, AttackKind, FaultSpec, Workload};
 use std::path::PathBuf;
 
 const N: u64 = 4_000;
@@ -191,6 +191,74 @@ fn seed_fanout_checkpoints_every_fanned_cell() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An attack cell that also faults mid-campaign must not checkpoint its
+/// poisoned partial state: the failure leaves no file, the healed re-run
+/// executes from scratch, and its result is identical to a run that never
+/// faulted — resumed state cannot smuggle in a half-trained filter.
+#[test]
+fn faulting_attack_cell_is_not_cached_poisoned() {
+    let dir = scratch("attack-fault");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let attack = AdversarySpec::window(AttackKind::Poison, 500, 3_000);
+    let attacked = |fault: Option<FaultSpec>| {
+        let spec = RunSpec::new("atk", SystemConfig::paper_default(), Workload::Em3d)
+            .instructions(N)
+            .with_adversary(attack);
+        match fault {
+            // Panic inside the attack window: the filter has already eaten
+            // poisoned feedback when the cell dies.
+            Some(f) => spec.with_fault(f),
+            None => spec,
+        }
+    };
+
+    let faulted =
+        run_grid_checkpointed(vec![attacked(Some(FaultSpec::panic_at(1_500)))], &dir).unwrap();
+    let failure = faulted.outcomes[0].failure().expect("attacked cell faults");
+    assert_eq!(failure.error.kind, PpfErrorKind::CellPanic);
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        0,
+        "a faulted attack cell must leave no checkpoint behind"
+    );
+
+    // Healed re-run executes fresh (nothing to reload) and persists.
+    let healed = run_grid_checkpointed(vec![attacked(None)], &dir).unwrap();
+    assert_eq!((healed.loaded, healed.executed), (0, 1));
+    let healed_report = healed.outcomes[0].report().unwrap().clone();
+
+    // A pristine directory gives the identical result: whatever the faulted
+    // attempt computed before dying is invisible to the resume.
+    let pristine_dir = scratch("attack-fault-pristine");
+    std::fs::remove_dir_all(&pristine_dir).ok();
+    let pristine = run_grid_checkpointed(vec![attacked(None)], &pristine_dir).unwrap();
+    assert_eq!(
+        pristine.outcomes[0].report().unwrap().stats,
+        healed_report.stats
+    );
+
+    // And the healed checkpoint reloads cleanly under the same attack key.
+    let resumed = run_grid_checkpointed(vec![attacked(None)], &dir).unwrap();
+    assert_eq!((resumed.loaded, resumed.executed), (1, 0));
+    assert_eq!(
+        resumed.outcomes[0].report().unwrap().stats,
+        healed_report.stats
+    );
+
+    // The attack is part of the cell key: the same cell without the
+    // adversary must NOT be satisfied by the attacked checkpoint.
+    let clean_spec =
+        RunSpec::new("atk", SystemConfig::paper_default(), Workload::Em3d).instructions(N);
+    assert!(
+        !cell_path(&dir, &clean_spec).exists(),
+        "attack-free cell must hash to a different key than the attacked one"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&pristine_dir).ok();
 }
 
 /// Failures come back as structured outcomes from the checkpointed path

@@ -5,8 +5,60 @@
 //! full 64-bit key in 16-bit halves — cheap in hardware (a tree of XORs) and
 //! enough to spread Table 2's working sets across a 4K-entry table. The
 //! table applies its own power-of-two mask to the returned value.
+//!
+//! # Salted (keyed) variants
+//!
+//! The plain fold is public knowledge, and it is linear over XOR:
+//! `fold16(a ^ b) = fold16(a) ^ fold16(b)`. An adversary exploits that to
+//! build *aliasing floods* — unbounded address sets that all land in one
+//! table index (e.g. every `t | (h << 16) | (h << 32)` folds to `t`, for
+//! any `h`). The salted variants (DESIGN.md §12) defeat the construction by
+//! passing each 16-bit half through its own salt-keyed affine permutation
+//! `x ↦ (x ^ a) * m + b (mod 2^16)` *before* the fold. Odd multipliers make
+//! every permutation bijective on the low `k` bits for all `k ≤ 16`, so a
+//! sweep of 2^k consecutive addresses still covers all 2^k masked indices
+//! (the coverage property the unsalted hash has, asserted in the property
+//! tests) — but the multiply does not distribute over XOR, so cross-half
+//! cancellation no longer works and collision sets crafted against the
+//! public hash are scattered by an unknown salt. Salt 0 is the identity:
+//! the salted functions then return exactly the unsalted hash.
 
 use ppf_types::{LineAddr, Pc};
+
+/// SplitMix64 finalizer: expands the salt into per-half permutation keys.
+/// A pure bit-mixing function (no RNG state) so the derived keys are a
+/// deterministic function of the configured salt alone.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Salt-keyed affine permutation of one 16-bit half: `(x ^ a) * m + b`
+/// modulo 2^16, with `m` forced odd. Each component is bijective modulo
+/// 2^k for every `k ≤ 16`, which is exactly what preserves the index-sweep
+/// coverage guarantee under the table's power-of-two mask.
+#[inline]
+fn scramble16(half: u64, key: u64) -> u64 {
+    let a = key & 0xffff;
+    let m = (key >> 16) | 1;
+    let b = key >> 48;
+    ((half ^ a).wrapping_mul(m)).wrapping_add(b) & 0xffff
+}
+
+/// Keyed XOR-fold: scramble each 16-bit half with its own salt-derived
+/// affine permutation, then fold. `salt == 0` is the plain [`fold16`].
+#[inline]
+pub fn fold16_salted(v: u64, salt: u64) -> u64 {
+    if salt == 0 {
+        return fold16(v);
+    }
+    scramble16(v & 0xffff, mix64(salt ^ 0x9e37_79b9_7f4a_7c15))
+        ^ scramble16((v >> 16) & 0xffff, mix64(salt ^ 0xd1b5_4a32_d192_ed03))
+        ^ scramble16((v >> 32) & 0xffff, mix64(salt ^ 0x8cb9_2ba7_2f3d_8dd7))
+        ^ scramble16(v >> 48, mix64(salt ^ 0x52db_cc63_35f6_11c9))
+}
 
 /// XOR-fold a 64-bit value to 16 bits. Keeps low bits dominant (hardware
 /// tables index with low bits) while mixing in upper address bits so that
@@ -28,6 +80,18 @@ pub fn hash_line(line: LineAddr) -> u64 {
 #[inline]
 pub fn hash_pc(pc: Pc) -> u64 {
     fold16(pc >> 2)
+}
+
+/// Keyed [`hash_line`]; `salt == 0` is the plain hash.
+#[inline]
+pub fn hash_line_salted(line: LineAddr, salt: u64) -> u64 {
+    fold16_salted(line.0, salt)
+}
+
+/// Keyed [`hash_pc`]; `salt == 0` is the plain hash.
+#[inline]
+pub fn hash_pc_salted(pc: Pc, salt: u64) -> u64 {
+    fold16_salted(pc >> 2, salt)
 }
 
 #[cfg(test)]
@@ -76,5 +140,57 @@ mod tests {
         let a = hash_line(LineAddr(0x1000));
         let b = hash_line(LineAddr(0x1000 + (1 << 32)));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn salt_zero_is_the_plain_hash() {
+        for v in [0u64, 1, 0xffff, 0x10000, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(fold16_salted(v, 0), fold16(v));
+        }
+        assert_eq!(
+            hash_line_salted(LineAddr(0x40_0123), 0),
+            hash_line(LineAddr(0x40_0123))
+        );
+        assert_eq!(hash_pc_salted(0x1004, 0), hash_pc(0x1004));
+    }
+
+    #[test]
+    fn salted_fold_fits_16_bits_and_is_deterministic() {
+        for v in [0u64, 7, 0xffff_0001, u64::MAX] {
+            for salt in [1u64, 42, 0xfeed_face_dead_beef] {
+                let h = fold16_salted(v, salt);
+                assert!(h <= 0xffff);
+                assert_eq!(h, fold16_salted(v, salt));
+            }
+        }
+    }
+
+    #[test]
+    fn salt_breaks_xor_linearity() {
+        // The attack surface of the plain fold is its XOR-linearity; a
+        // nonzero salt must not preserve it, or crafted collision sets
+        // would survive salting unchanged.
+        let salt = 0x0123_4567_89ab_cdef;
+        let (a, b) = (0x1111_2222_3333_4444u64, 0x5555_6666_7777_8888u64);
+        assert_eq!(fold16(a ^ b), fold16(a) ^ fold16(b));
+        assert_ne!(
+            fold16_salted(a ^ b, salt),
+            fold16_salted(a, salt) ^ fold16_salted(b, salt)
+        );
+    }
+
+    #[test]
+    fn salted_sequential_lines_do_not_collide() {
+        // The no-alias guarantee for streams must survive salting.
+        for salt in [1u64, 0x00ff_00ff, 0xabcdef0123456789] {
+            let base = 0x40_0000u64;
+            let keys: Vec<u64> = (0..256)
+                .map(|i| hash_line_salted(LineAddr(base + i), salt))
+                .collect();
+            let mut dedup = keys.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), keys.len(), "salt {salt:#x}");
+        }
     }
 }

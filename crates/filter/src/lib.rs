@@ -108,12 +108,25 @@ pub struct PollutionFilter {
     /// Tournament chooser for [`FilterKind::Hybrid`]: PC-indexed 2-bit
     /// counters; "good" means trust the PC table, otherwise the PA table.
     chooser: Option<HistoryTable>,
+    /// Keyed-hash salt (0 = the paper's plain fold; DESIGN.md §12).
+    salt: u64,
 }
+
+/// Folded into a nonzero salt per tenant ID so each tenant indexes the
+/// shared table through its own keyed permutation (tag-mixing): a hostile
+/// tenant can no longer aim trained-bad counters at a victim's keys even
+/// without partitioning. Tenant 0 keeps the configured salt unchanged, so
+/// single-tenant salted runs are unaffected.
+const TENANT_TAG_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 
 impl PollutionFilter {
     /// Build a filter from its configuration. With `FilterKind::None` the
     /// filter admits everything and trains nothing (the baseline machine).
     pub fn new(cfg: &FilterConfig) -> Self {
+        let parts = (cfg.tenant_partitions.max(1) as u32).min(ppf_types::MAX_TENANTS as u32);
+        let table = |entries: usize| {
+            HistoryTable::with_partitions(entries, cfg.counter_bits, cfg.counter_init, parts)
+        };
         let tables = if cfg.kind == FilterKind::Hybrid {
             // tables[0] is PA-indexed, tables[1] is PC-indexed. The chooser
             // below takes half the advertised budget, each component a
@@ -121,24 +134,15 @@ impl PollutionFilter {
             // `table_entries` counters (floored at 64 entries each for
             // degenerate budgets).
             let per = floor_pow2(cfg.table_entries / 4).max(64);
-            vec![
-                HistoryTable::with_init(per, cfg.counter_bits, cfg.counter_init),
-                HistoryTable::with_init(per, cfg.counter_bits, cfg.counter_init),
-            ]
+            vec![table(per), table(per)]
         } else if cfg.split_by_source {
             // Same total budget, four ways; round *down* to a power of two
             // (rounding up would overshoot the budget whenever the quarter
             // is not already a power of two); floor at 64 entries each.
             let per = floor_pow2(cfg.table_entries / PrefetchSource::COUNT).max(64);
-            (0..PrefetchSource::COUNT)
-                .map(|_| HistoryTable::with_init(per, cfg.counter_bits, cfg.counter_init))
-                .collect()
+            (0..PrefetchSource::COUNT).map(|_| table(per)).collect()
         } else {
-            vec![HistoryTable::with_init(
-                cfg.table_entries,
-                cfg.counter_bits,
-                cfg.counter_init,
-            )]
+            vec![table(cfg.table_entries)]
         };
         PollutionFilter {
             kind: cfg.kind,
@@ -157,13 +161,20 @@ impl PollutionFilter {
             // width and initial state like the component tables (the
             // PC-indexed chooser aliases across trigger sites, so it gets
             // the larger share).
-            chooser: (cfg.kind == FilterKind::Hybrid).then(|| {
-                HistoryTable::with_init(
-                    floor_pow2(cfg.table_entries / 2).max(64),
-                    cfg.counter_bits,
-                    cfg.counter_init,
-                )
-            }),
+            chooser: (cfg.kind == FilterKind::Hybrid)
+                .then(|| table(floor_pow2(cfg.table_entries / 2).max(64))),
+            salt: cfg.hash_salt,
+        }
+    }
+
+    /// The keyed-hash salt a lookup from `tenant` uses: the configured salt
+    /// with the tenant ID tag-mixed in (identity when salting is off).
+    #[inline]
+    fn effective_salt(&self, tenant: u8) -> u64 {
+        if self.salt == 0 {
+            0
+        } else {
+            self.salt ^ (tenant as u64).wrapping_mul(TENANT_TAG_MIX)
         }
     }
 
@@ -251,11 +262,12 @@ impl PollutionFilter {
     }
 
     #[inline]
-    fn index_for(&self, line: ppf_types::LineAddr, pc: ppf_types::Pc) -> Option<u64> {
+    fn index_for(&self, line: ppf_types::LineAddr, pc: ppf_types::Pc, tenant: u8) -> Option<u64> {
+        let salt = self.effective_salt(tenant);
         match self.kind {
             FilterKind::None => None,
-            FilterKind::Pa => Some(hash::hash_line(line)),
-            FilterKind::Pc => Some(hash::hash_pc(pc)),
+            FilterKind::Pa => Some(hash::hash_line_salted(line, salt)),
+            FilterKind::Pc => Some(hash::hash_pc_salted(pc, salt)),
             // Hybrid handles its two keys explicitly at each use site; the
             // recovery log stores the chosen (key, table) pair.
             FilterKind::Hybrid => None,
@@ -265,18 +277,24 @@ impl PollutionFilter {
     /// Hybrid lookup: both predictions plus the chooser's pick.
     /// Returns (decision, chosen key, chosen table index).
     #[inline]
-    fn hybrid_predict(&self, line: ppf_types::LineAddr, pc: ppf_types::Pc) -> (bool, u64, usize) {
-        let pa_key = hash::hash_line(line);
-        let pc_key = hash::hash_pc(pc);
+    fn hybrid_predict(
+        &self,
+        line: ppf_types::LineAddr,
+        pc: ppf_types::Pc,
+        tenant: u8,
+    ) -> (bool, u64, usize) {
+        let salt = self.effective_salt(tenant);
+        let pa_key = hash::hash_line_salted(line, salt);
+        let pc_key = hash::hash_pc_salted(pc, salt);
         let use_pc = self
             .chooser
             .as_ref()
-            .map(|c| c.predict_good(pc_key))
+            .map(|c| c.predict_good_for(pc_key, tenant))
             .unwrap_or(false);
         if use_pc {
-            (self.tables[1].predict_good(pc_key), pc_key, 1)
+            (self.tables[1].predict_good_for(pc_key, tenant), pc_key, 1)
         } else {
-            (self.tables[0].predict_good(pa_key), pa_key, 0)
+            (self.tables[0].predict_good_for(pa_key, tenant), pa_key, 0)
         }
     }
 
@@ -291,10 +309,10 @@ impl PollutionFilter {
                 return true;
             }
             FilterKind::Hybrid => {
-                let (_, key, table) = self.hybrid_predict(req.line, req.trigger_pc);
+                let (_, key, table) = self.hybrid_predict(req.line, req.trigger_pc, req.tenant);
                 (key, table)
             }
-            _ => match self.index_for(req.line, req.trigger_pc) {
+            _ => match self.index_for(req.line, req.trigger_pc, req.tenant) {
                 Some(key) => (key, self.table_idx(req.source)),
                 None => unreachable!("None handled above"),
             },
@@ -306,13 +324,13 @@ impl PollutionFilter {
                 return true;
             }
         }
-        let good = self.tables[table].predict_good(key);
+        let good = self.tables[table].predict_good_for(key, req.tenant);
         if good {
             self.stats.allowed += 1;
         } else {
             self.stats.rejected += 1;
             if let Some(log) = &mut self.reject_log {
-                log.record(req.line, key, table as u8, now);
+                log.record(req.line, key, table as u8, req.tenant, now);
             }
         }
         if let Some(trace) = &mut self.trace {
@@ -347,23 +365,25 @@ impl PollutionFilter {
             }
         }
         if self.kind == FilterKind::Hybrid {
-            let pa_key = hash::hash_line(origin.line);
-            let pc_key = hash::hash_pc(origin.trigger_pc);
+            let tenant = origin.tenant;
+            let salt = self.effective_salt(tenant);
+            let pa_key = hash::hash_line_salted(origin.line, salt);
+            let pc_key = hash::hash_pc_salted(origin.trigger_pc, salt);
             // Both component tables train on the outcome; the chooser
             // trains toward whichever component was right (only when they
             // disagree — the tournament update rule).
-            let pa_right = self.tables[0].predict_good(pa_key) == referenced;
-            let pc_right = self.tables[1].predict_good(pc_key) == referenced;
-            self.tables[0].train(pa_key, referenced);
-            self.tables[1].train(pc_key, referenced);
+            let pa_right = self.tables[0].predict_good_for(pa_key, tenant) == referenced;
+            let pc_right = self.tables[1].predict_good_for(pc_key, tenant) == referenced;
+            self.tables[0].train_for(pa_key, tenant, referenced);
+            self.tables[1].train_for(pc_key, tenant, referenced);
             if pa_right != pc_right {
                 if let Some(c) = &mut self.chooser {
-                    c.train(pc_key, pc_right);
+                    c.train_for(pc_key, tenant, pc_right);
                 }
             }
-        } else if let Some(key) = self.index_for(origin.line, origin.trigger_pc) {
+        } else if let Some(key) = self.index_for(origin.line, origin.trigger_pc, origin.tenant) {
             let table = self.table_idx(origin.source);
-            self.tables[table].train(key, referenced);
+            self.tables[table].train_for(key, origin.tenant, referenced);
         }
     }
 
@@ -374,9 +394,9 @@ impl PollutionFilter {
         let Some(log) = &mut self.reject_log else {
             return;
         };
-        if let Some((key, table)) = log.check_miss(line, now) {
+        if let Some((key, table, tenant)) = log.check_miss(line, now) {
             self.stats.recovered += 1;
-            self.tables[table as usize].train(key, true);
+            self.tables[table as usize].train_for(key, tenant, true);
         }
     }
 }
@@ -398,6 +418,7 @@ mod tests {
             line: LineAddr(line),
             trigger_pc: pc,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         }
     }
 
@@ -536,6 +557,7 @@ mod tests {
             line: LineAddr(500),
             trigger_pc: 0x100,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         };
         f.on_eviction(&nsp.origin(), false);
         f.on_eviction(&nsp.origin(), false);
@@ -567,6 +589,7 @@ mod tests {
             line: LineAddr(500),
             trigger_pc: 0x100,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         };
         f.on_eviction(&nsp.origin(), false);
         f.on_eviction(&nsp.origin(), false);

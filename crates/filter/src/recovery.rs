@@ -31,6 +31,9 @@ struct Entry {
     key: u64,
     /// Which history table vetoed (0 unless split-by-source).
     table: u8,
+    /// Tenant whose lookup was rejected — recovery must train the same
+    /// partition the veto came from.
+    tenant: u8,
     stamp: u64,
 }
 
@@ -81,28 +84,30 @@ impl RejectLog {
     }
 
     /// Record a rejection of `line` decided by `key` in history table
-    /// `table` at cycle `now`. Overwrites any previous record in the slot.
+    /// `table` for `tenant` at cycle `now`. Overwrites any previous record
+    /// in the slot.
     #[inline]
-    pub fn record(&mut self, line: LineAddr, key: u64, table: u8, now: u64) {
+    pub fn record(&mut self, line: LineAddr, key: u64, table: u8, tenant: u8, now: u64) {
         let slot = self.slot(line);
         self.entries[slot] = Some(Entry {
             line,
             key,
             table,
+            tenant,
             stamp: now,
         });
     }
 
     /// A demand miss to `line` arrived at cycle `now`: if a *fresh*
-    /// rejection matches, return the `(key, table)` to train good
+    /// rejection matches, return the `(key, table, tenant)` to train good
     /// (consuming the record). Stale matches are dropped without training.
     #[inline]
-    pub fn check_miss(&mut self, line: LineAddr, now: u64) -> Option<(u64, u8)> {
+    pub fn check_miss(&mut self, line: LineAddr, now: u64) -> Option<(u64, u8, u8)> {
         let slot = self.slot(line);
         match self.entries[slot] {
             Some(e) if e.line == line => {
                 self.entries[slot] = None;
-                (now.saturating_sub(e.stamp) <= self.window).then_some((e.key, e.table))
+                (now.saturating_sub(e.stamp) <= self.window).then_some((e.key, e.table, e.tenant))
             }
             _ => None,
         }
@@ -128,8 +133,8 @@ mod tests {
     #[test]
     fn records_and_matches_miss() {
         let mut log = RejectLog::new(16);
-        log.record(LineAddr(5), 99, 0, 10);
-        assert_eq!(log.check_miss(LineAddr(5), 20), Some((99, 0)));
+        log.record(LineAddr(5), 99, 0, 0, 10);
+        assert_eq!(log.check_miss(LineAddr(5), 20), Some((99, 0, 0)));
         // Consumed: a second miss does not re-train.
         assert_eq!(log.check_miss(LineAddr(5), 21), None);
     }
@@ -137,11 +142,11 @@ mod tests {
     #[test]
     fn non_matching_miss_is_ignored() {
         let mut log = RejectLog::new(16);
-        log.record(LineAddr(5), 99, 0, 10);
+        log.record(LineAddr(5), 99, 0, 0, 10);
         assert_eq!(log.check_miss(LineAddr(6), 11), None);
         assert_eq!(
             log.check_miss(LineAddr(5), 12),
-            Some((99, 0)),
+            Some((99, 0, 0)),
             "record still live"
         );
     }
@@ -149,18 +154,18 @@ mod tests {
     #[test]
     fn aliasing_overwrites() {
         let mut log = RejectLog::new(16);
-        log.record(LineAddr(5), 1, 0, 0);
-        log.record(LineAddr(21), 2, 0, 1); // same slot in a 16-entry log
+        log.record(LineAddr(5), 1, 0, 0, 0);
+        log.record(LineAddr(21), 2, 0, 0, 1); // same slot in a 16-entry log
         assert_eq!(log.check_miss(LineAddr(5), 2), None, "overwritten");
-        assert_eq!(log.check_miss(LineAddr(21), 3), Some((2, 0)));
+        assert_eq!(log.check_miss(LineAddr(21), 3), Some((2, 0, 0)));
     }
 
     #[test]
     fn live_count() {
         let mut log = RejectLog::new(16);
         assert_eq!(log.live(), 0);
-        log.record(LineAddr(1), 0, 0, 0);
-        log.record(LineAddr(2), 0, 0, 0);
+        log.record(LineAddr(1), 0, 0, 0, 0);
+        log.record(LineAddr(2), 0, 0, 0, 0);
         assert_eq!(log.live(), 2);
         log.check_miss(LineAddr(1), 1);
         assert_eq!(log.live(), 1);
@@ -175,7 +180,7 @@ mod tests {
     #[test]
     fn stale_records_do_not_train() {
         let mut log = RejectLog::with_window(16, 4);
-        log.record(LineAddr(5), 99, 0, 100);
+        log.record(LineAddr(5), 99, 0, 3, 100);
         assert_eq!(log.check_miss(LineAddr(5), 105), None, "record went stale");
         assert_eq!(log.live(), 0, "stale record consumed");
     }
@@ -183,7 +188,7 @@ mod tests {
     #[test]
     fn fresh_record_within_window_trains() {
         let mut log = RejectLog::with_window(16, 4);
-        log.record(LineAddr(5), 99, 0, 100);
-        assert_eq!(log.check_miss(LineAddr(5), 103), Some((99, 0)));
+        log.record(LineAddr(5), 99, 0, 3, 100);
+        assert_eq!(log.check_miss(LineAddr(5), 103), Some((99, 0, 3)));
     }
 }

@@ -5,6 +5,15 @@
 //! stored as raw `u8`s in a flat boxed slice — the hot path is a masked
 //! index plus a byte compare, no hashing beyond the fold done by the caller
 //! and no allocation.
+//!
+//! # Per-tenant partitioning
+//!
+//! The hardened multi-tenant configuration (DESIGN.md §12) splits the same
+//! storage into `P` equal partitions: a request from tenant `t` indexes only
+//! the `t % P` region (`base + (key & region_mask)`), so a hostile tenant's
+//! eviction feedback is physically unable to touch a victim tenant's
+//! counters. `P = 1` (the default) is bit-for-bit the paper's shared table;
+//! the unpartitioned entry points delegate with tenant 0.
 
 use crate::counter::SatCounter;
 use ppf_types::CounterInit;
@@ -18,6 +27,9 @@ pub struct HistoryTable {
     max: u8,
     /// Threshold: values strictly above predict good.
     threshold: u8,
+    /// Tenant partitions (1 = shared table). Power of two dividing the
+    /// entry count, so each partition keeps a power-of-two slot range.
+    partitions: u32,
 }
 
 impl HistoryTable {
@@ -30,8 +42,18 @@ impl HistoryTable {
 
     /// A table with an explicit initial counter state (ablation).
     pub fn with_init(entries: usize, bits: u8, init: CounterInit) -> Self {
+        Self::with_partitions(entries, bits, init, 1)
+    }
+
+    /// A table split into `partitions` equal per-tenant regions (1 = the
+    /// shared table of the paper).
+    pub fn with_partitions(entries: usize, bits: u8, init: CounterInit, partitions: u32) -> Self {
         assert!(entries.is_power_of_two(), "table entries must be 2^k");
         assert!((1..=8).contains(&bits));
+        assert!(
+            partitions.is_power_of_two() && (partitions as usize) <= entries,
+            "partitions must be 2^k and at most the entry count"
+        );
         let init = match init {
             CounterInit::WeaklyGood => SatCounter::weakly_good(bits),
             CounterInit::StronglyGood => SatCounter::strongly_good(bits),
@@ -39,11 +61,17 @@ impl HistoryTable {
         };
         HistoryTable {
             counters: vec![init.value(); entries].into_boxed_slice(),
-            mask: (entries - 1) as u64,
+            mask: (entries / partitions as usize - 1) as u64,
             bits,
             max: init.max(),
             threshold: init.max() / 2,
+            partitions,
         }
+    }
+
+    /// Partition count (1 = shared).
+    pub fn partitions(&self) -> u32 {
+        self.partitions
     }
 
     /// Entry count.
@@ -62,19 +90,32 @@ impl HistoryTable {
     }
 
     #[inline]
-    fn slot(&self, key: u64) -> usize {
-        (key & self.mask) as usize
+    fn slot(&self, key: u64, tenant: u8) -> usize {
+        let region = (tenant as u32 % self.partitions) as usize * (self.mask as usize + 1);
+        region + (key & self.mask) as usize
     }
 
-    /// Does the counter for `key` predict a good prefetch?
+    /// Does the counter for `key` predict a good prefetch? (Shared-table
+    /// form: tenant 0.)
     #[inline]
     pub fn predict_good(&self, key: u64) -> bool {
-        self.counters[self.slot(key)] > self.threshold
+        self.predict_good_for(key, 0)
     }
 
-    /// Raw counter value for `key` (tests/introspection).
+    /// Does tenant `tenant`'s counter for `key` predict a good prefetch?
+    #[inline]
+    pub fn predict_good_for(&self, key: u64, tenant: u8) -> bool {
+        self.counters[self.slot(key, tenant)] > self.threshold
+    }
+
+    /// Raw counter value for `key` (tests/introspection; tenant 0).
     pub fn value(&self, key: u64) -> u8 {
-        self.counters[self.slot(key)]
+        self.value_for(key, 0)
+    }
+
+    /// Raw counter value for tenant `tenant`'s `key`.
+    pub fn value_for(&self, key: u64, tenant: u8) -> u8 {
+        self.counters[self.slot(key, tenant)]
     }
 
     /// The full counter array, in slot order (differential-oracle
@@ -83,10 +124,16 @@ impl HistoryTable {
         &self.counters
     }
 
-    /// Train the counter for `key` with one outcome.
+    /// Train the counter for `key` with one outcome (tenant 0).
     #[inline]
     pub fn train(&mut self, key: u64, good: bool) {
-        let slot = self.slot(key);
+        self.train_for(key, 0, good);
+    }
+
+    /// Train tenant `tenant`'s counter for `key` with one outcome.
+    #[inline]
+    pub fn train_for(&mut self, key: u64, tenant: u8, good: bool) {
+        let slot = self.slot(key, tenant);
         let v = self.counters[slot];
         self.counters[slot] = if good {
             if v < self.max {
@@ -197,5 +244,48 @@ mod tests {
     #[should_panic]
     fn non_power_of_two_rejected() {
         HistoryTable::new(1000, 2);
+    }
+
+    #[test]
+    fn single_partition_is_the_shared_table() {
+        let mut shared = HistoryTable::new(16, 2);
+        let mut part1 = HistoryTable::with_partitions(16, 2, CounterInit::WeaklyGood, 1);
+        for (key, tenant, good) in [(3u64, 0u8, false), (3, 2, false), (17, 1, true)] {
+            shared.train_for(key, tenant, good);
+            part1.train_for(key, tenant, good);
+        }
+        assert_eq!(shared.counters(), part1.counters());
+        // With one partition every tenant shares every counter.
+        assert_eq!(part1.value_for(3, 0), part1.value_for(3, 3));
+    }
+
+    #[test]
+    fn partitions_isolate_tenants() {
+        let mut t = HistoryTable::with_partitions(16, 2, CounterInit::WeaklyGood, 4);
+        // Tenant 1 saturates its counter for key 3 bad.
+        t.train_for(3, 1, false);
+        t.train_for(3, 1, false);
+        assert!(!t.predict_good_for(3, 1));
+        // Tenants 0, 2 and 3 are untouched — the poisoning cannot escape
+        // the attacker's partition.
+        for victim in [0u8, 2, 3] {
+            assert!(t.predict_good_for(3, victim), "tenant {victim} polluted");
+        }
+        // Keys alias within a partition at entries/partitions, not entries.
+        t.train_for(7, 0, false);
+        assert_eq!(t.value_for(7 + 4, 0), t.value_for(7, 0), "4-slot regions");
+    }
+
+    #[test]
+    fn partitioned_slots_stay_in_bounds() {
+        let mut t = HistoryTable::with_partitions(32, 2, CounterInit::WeaklyGood, 4);
+        for tenant in 0..=7u8 {
+            for key in [0u64, 31, 32, u64::MAX] {
+                t.train_for(key, tenant, false);
+                let _ = t.predict_good_for(key, tenant);
+            }
+        }
+        // Tenant IDs past the partition count wrap onto existing regions.
+        assert_eq!(t.value_for(0, 1), t.value_for(0, 5));
     }
 }

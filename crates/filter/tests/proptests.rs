@@ -2,7 +2,7 @@
 //! behaviour under arbitrary training, and end-to-end filter consistency.
 
 use ppf_filter::counter::SatCounter;
-use ppf_filter::hash::{hash_line, hash_pc};
+use ppf_filter::hash::{hash_line, hash_line_salted, hash_pc, hash_pc_salted};
 use ppf_filter::table::HistoryTable;
 use ppf_filter::PollutionFilter;
 use ppf_types::{FilterConfig, FilterKind, LineAddr, PrefetchRequest, PrefetchSource};
@@ -188,6 +188,74 @@ proptest! {
     }
 
     #[test]
+    fn salted_index_sweep_still_covers_every_slot(
+        entries_log2 in 4u32..13,
+        high in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        // Hardening must not cost coverage: the keyed fold scrambles each
+        // 16-bit half through an affine permutation, so a consecutive sweep
+        // still lands on every slot of a power-of-two table — for ANY salt,
+        // including 0 (the plain fold). A salt that stranded slots would
+        // shrink the effective table and help the attacker.
+        let entries = 1usize << entries_log2;
+        let mask = (entries - 1) as u64;
+        let mut pa_hit = vec![false; entries];
+        let mut pc_hit = vec![false; entries];
+        for i in 0..entries as u64 {
+            let line = LineAddr((high << 16) | i);
+            pa_hit[(hash_line_salted(line, salt) & mask) as usize] = true;
+            let pc = (high << 18) | (i << 2);
+            pc_hit[(hash_pc_salted(pc, salt) & mask) as usize] = true;
+        }
+        prop_assert!(pa_hit.iter().all(|&h| h), "salted PA sweep must cover all {} slots", entries);
+        prop_assert!(pc_hit.iter().all(|&h| h), "salted PC sweep must cover all {} slots", entries);
+    }
+
+    #[test]
+    fn distinct_salts_decorrelate_an_aliasing_flood(
+        victim in 0u64..0xffff,
+        s1 in 1u64..u64::MAX,
+        s2 in 1u64..u64::MAX,
+    ) {
+        // The aliasing-flood attack crafts lines `t | h<<16 | h<<32` whose
+        // plain XOR-fold cancels the two h halves, so every flood line lands
+        // on the victim's slot. Under a keyed fold the halves go through
+        // different permutations and no longer cancel: the flood scatters
+        // across many slots, and two distinct salts scatter it differently —
+        // an attacker calibrated against one deployment learns nothing
+        // about another.
+        prop_assume!(s1 != s2);
+        let mask = 0xffu64; // 256-entry table
+        let flood: Vec<LineAddr> = (1..=64u64)
+            .map(|h| LineAddr(victim | (h << 16) | (h << 32)))
+            .collect();
+        for line in &flood {
+            prop_assert_eq!(
+                hash_line(*line) & mask,
+                hash_line(LineAddr(victim)) & mask,
+                "flood construction must alias perfectly under the plain fold"
+            );
+        }
+        let idx = |salt: u64| -> Vec<u64> {
+            flood.iter().map(|l| hash_line_salted(*l, salt) & mask).collect()
+        };
+        let (i1, i2) = (idx(s1), idx(s2));
+        let distinct = |v: &[u64]| {
+            let mut s: Vec<u64> = v.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        };
+        prop_assert!(
+            distinct(&i1) >= 8 && distinct(&i2) >= 8,
+            "a keyed fold must scatter the flood (got {} and {} distinct slots of 64 lines)",
+            distinct(&i1), distinct(&i2)
+        );
+        prop_assert_ne!(i1, i2, "distinct salts must give distinct index sequences");
+    }
+
+    #[test]
     fn none_filter_never_rejects(
         lines in prop::collection::vec(any::<u64>(), 1..100),
     ) {
@@ -198,6 +266,7 @@ proptest! {
                 line: LineAddr(*l),
                 trigger_pc: *l ^ 0xabcd,
                 source: PrefetchSource::Nsp,
+                tenant: 0,
             };
             prop_assert!(f.should_prefetch(&req, i as u64));
             // Train adversarially; it must still never reject.
@@ -216,7 +285,7 @@ proptest! {
         // (lookups must not themselves mutate the prediction).
         let cfg = FilterConfig { kind, ..FilterConfig::default() };
         let mut f = PollutionFilter::new(&cfg);
-        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Sdp };
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Sdp, tenant: 0 };
         let a = f.should_prefetch(&req, 0);
         let b = f.should_prefetch(&req, 1);
         prop_assert_eq!(a, b);
@@ -233,7 +302,7 @@ proptest! {
         // matching steady-state decision after a handful of trainings.
         let cfg = FilterConfig { kind, ..FilterConfig::default() };
         let mut f = PollutionFilter::new(&cfg);
-        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp };
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp, tenant: 0 };
         for _ in 0..4 {
             f.on_eviction(&req.origin(), good);
         }
@@ -249,7 +318,7 @@ proptest! {
         prop_assume!(line != other);
         let cfg = FilterConfig { kind: FilterKind::Pa, ..FilterConfig::default() };
         let mut f = PollutionFilter::new(&cfg);
-        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp };
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp, tenant: 0 };
         f.on_eviction(&req.origin(), false);
         f.on_eviction(&req.origin(), false);
         prop_assert!(!f.should_prefetch(&req, 10));

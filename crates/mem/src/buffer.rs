@@ -129,6 +129,7 @@ mod tests {
             line: LineAddr(line),
             trigger_pc: 0x2000,
             source: PrefetchSource::Sdp,
+            tenant: 0,
         }
     }
 

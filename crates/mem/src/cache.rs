@@ -16,7 +16,7 @@
 //! together with the RIB are passed to the pollution filter" (§4).
 
 use crate::replacement::{ReplacementPolicy, ReplacementState};
-use ppf_types::{CacheConfig, LineAddr, PrefetchOrigin};
+use ppf_types::{CacheConfig, LineAddr, PrefetchOrigin, MAX_TENANTS, TENANT_ADDR_SHIFT};
 
 /// How a line is being filled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +89,7 @@ impl Line {
                         line: self.line,
                         trigger_pc: 0,
                         source: ppf_types::PrefetchSource::Nsp,
+                        tenant: 0,
                     }),
                     self.rib,
                 ))
@@ -120,6 +121,34 @@ pub struct LineState {
     pub origin: Option<PrefetchOrigin>,
 }
 
+/// Per-tenant attribution of prefetch outcomes and eviction pressure
+/// (DESIGN.md §12). Indexed by the tenant IDs carried in prefetch
+/// provenance / encoded in the address region, so a hostile tenant's bad
+/// prefetches and the conflict evictions it inflicts on other tenants are
+/// charged to *it* rather than diluted into global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantAttribution {
+    /// Referenced (RIB=1) prefetched lines retired, per owning tenant.
+    pub prefetch_good: [u64; MAX_TENANTS],
+    /// Unreferenced (RIB=0) prefetched lines retired, per owning tenant.
+    pub prefetch_bad: [u64; MAX_TENANTS],
+    /// Conflict evictions: `cross_evictions[victim][evictor]` counts valid
+    /// lines of tenant `victim` displaced by a fill from tenant `evictor`.
+    /// Off-diagonal mass is inter-tenant interference.
+    pub cross_evictions: [[u64; MAX_TENANTS]; MAX_TENANTS],
+}
+
+impl TenantAttribution {
+    /// Evictions of `victim`'s lines caused by *other* tenants.
+    pub fn inflicted_on(&self, victim: u8) -> u64 {
+        let v = victim as usize % MAX_TENANTS;
+        (0..MAX_TENANTS)
+            .filter(|&e| e != v)
+            .map(|e| self.cross_evictions[v][e])
+            .sum()
+    }
+}
+
 /// A set-associative cache with PIB/RIB line metadata.
 #[derive(Debug)]
 pub struct Cache {
@@ -128,6 +157,10 @@ pub struct Cache {
     ways: usize,
     set_mask: u64,
     repl: ReplacementState,
+    /// Right-shift that exposes the tenant bits of a *line* address
+    /// (`TENANT_ADDR_SHIFT` minus the line-offset bits).
+    tenant_shift: u32,
+    attribution: TenantAttribution,
 }
 
 impl Cache {
@@ -143,6 +176,38 @@ impl Cache {
             ways,
             set_mask: (sets - 1) as u64,
             repl: ReplacementState::new(policy, seed),
+            tenant_shift: TENANT_ADDR_SHIFT.saturating_sub(cfg.line_bytes.max(1).trailing_zeros()),
+            attribution: TenantAttribution::default(),
+        }
+    }
+
+    /// Tenant owning a resident line: the prefetch provenance when the line
+    /// was prefetched (authoritative), else the tenant bits of its address
+    /// region — the same derivation [`ppf_types::tenant_of_addr`] performs
+    /// on byte addresses.
+    #[inline]
+    fn tenant_of_line(&self, line: LineAddr) -> u8 {
+        ((line.0 >> self.tenant_shift) as usize & (MAX_TENANTS - 1)) as u8
+    }
+
+    /// Per-tenant prefetch-outcome and interference counters.
+    pub fn tenant_attribution(&self) -> &TenantAttribution {
+        &self.attribution
+    }
+
+    /// Charge a retiring line's prefetch outcome to its owning tenant.
+    #[inline]
+    fn attribute_retirement(&mut self, victim: &Line) {
+        if victim.pib {
+            let t = victim
+                .origin
+                .map(|o| o.tenant as usize % MAX_TENANTS)
+                .unwrap_or(0);
+            if victim.rib {
+                self.attribution.prefetch_good[t] += 1;
+            } else {
+                self.attribution.prefetch_bad[t] += 1;
+            }
         }
     }
 
@@ -231,6 +296,20 @@ impl Cache {
         };
         let victim = self.lines[idx];
         let report = victim.valid.then(|| victim.evict_report());
+        if victim.valid {
+            let v = victim
+                .origin
+                .filter(|_| victim.pib)
+                .map(|o| o.tenant)
+                .unwrap_or_else(|| self.tenant_of_line(victim.line));
+            let evictor = match kind {
+                FillKind::Prefetch(o) => o.tenant,
+                FillKind::Demand => self.tenant_of_line(line),
+            };
+            self.attribution.cross_evictions[v as usize % MAX_TENANTS]
+                [evictor as usize % MAX_TENANTS] += 1;
+            self.attribute_retirement(&victim);
+        }
         self.lines[idx] = match kind {
             FillKind::Demand => Line {
                 valid: true,
@@ -271,7 +350,9 @@ impl Cache {
     /// Remove `line` if present, returning its eviction report.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
         let idx = self.find(line)?;
-        let report = self.lines[idx].evict_report();
+        let victim = self.lines[idx];
+        let report = victim.evict_report();
+        self.attribute_retirement(&victim);
         self.lines[idx] = INVALID;
         Some(report)
     }
@@ -305,7 +386,19 @@ impl Cache {
     /// Used at end-of-run so the good/bad prefetch census covers lines that
     /// never got evicted (Figure 1's census is over *all* prefetches).
     pub fn drain(&mut self) -> impl Iterator<Item = Evicted> + '_ {
-        self.lines.iter_mut().filter(|l| l.valid).map(|l| {
+        let attribution = &mut self.attribution;
+        self.lines.iter_mut().filter(|l| l.valid).map(move |l| {
+            if l.pib {
+                let t = l
+                    .origin
+                    .map(|o| o.tenant as usize % MAX_TENANTS)
+                    .unwrap_or(0);
+                if l.rib {
+                    attribution.prefetch_good[t] += 1;
+                } else {
+                    attribution.prefetch_bad[t] += 1;
+                }
+            }
             let report = l.evict_report();
             *l = INVALID;
             report
@@ -364,6 +457,7 @@ mod tests {
             line,
             trigger_pc: 0x1000,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         }
     }
 
@@ -539,6 +633,38 @@ mod tests {
             }
         }
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tenant_attribution_charges_the_causing_tenant() {
+        // 32B lines: tenant bits sit at line-address bit 36.
+        let t1 = 1u64 << 36;
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        // Tenant 1 prefetches a line into tenant 0's set, unreferenced...
+        let victim = LineAddr(5);
+        c.fill(victim, FillKind::Demand);
+        let mut o = origin(LineAddr(t1 | 37)); // same set (32 sets): 5 + 32
+        o.tenant = 1;
+        c.fill(LineAddr(37), FillKind::Prefetch(o));
+        // ...then the bad prefetch is itself displaced by tenant 0.
+        c.fill(LineAddr(69), FillKind::Demand);
+        let a = c.tenant_attribution();
+        assert_eq!(a.cross_evictions[0][1], 1, "t1 displaced t0's line");
+        assert_eq!(a.cross_evictions[1][0], 1, "t0 displaced t1's prefetch");
+        assert_eq!(a.prefetch_bad[1], 1, "bad prefetch charged to tenant 1");
+        assert_eq!(a.prefetch_bad[0], 0);
+        assert_eq!(a.inflicted_on(0), 1);
+    }
+
+    #[test]
+    fn drain_attributes_resident_prefetches() {
+        let mut c = Cache::new(&cfg(1024, 1), ReplacementPolicy::Lru, 0);
+        let mut o = origin(LineAddr(2));
+        o.tenant = 2;
+        c.fill(LineAddr(2), FillKind::Prefetch(o));
+        c.probe(LineAddr(2), false);
+        let _ = c.drain().count();
+        assert_eq!(c.tenant_attribution().prefetch_good[2], 1);
     }
 
     #[test]

@@ -508,6 +508,7 @@ mod tests {
             line: LineAddr(line),
             trigger_pc: 0x4400,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         }
     }
 

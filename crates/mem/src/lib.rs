@@ -44,7 +44,7 @@ pub mod victim;
 
 pub use buffer::PrefetchBuffer;
 pub use bus::Bus;
-pub use cache::{Cache, Evicted, FillKind, LineState, ProbeHit};
+pub use cache::{Cache, Evicted, FillKind, LineState, ProbeHit, TenantAttribution};
 pub use classify::{MissClassifier, MissKind};
 pub use dram::MainMemory;
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, PrefetchIssue};

@@ -96,6 +96,7 @@ mod tests {
             line: LineAddr(line),
             trigger_pc: 0x400,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         }
     }
 

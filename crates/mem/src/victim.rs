@@ -135,6 +135,7 @@ mod tests {
                     line: LineAddr(line),
                     trigger_pc: 0x100,
                     source: PrefetchSource::Nsp,
+                    tenant: 0,
                 },
                 false,
             )),

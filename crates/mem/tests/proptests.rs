@@ -30,6 +30,7 @@ fn origin(line: u64) -> PrefetchOrigin {
         line: LineAddr(line),
         trigger_pc: 0x1000 + (line % 64) * 4,
         source: PrefetchSource::Nsp,
+        tenant: 0,
     }
 }
 
@@ -124,6 +125,7 @@ proptest! {
                 line: LineAddr(*line),
                 trigger_pc: 0,
                 source: PrefetchSource::Sdp,
+                tenant: 0,
             };
             match q.push(req) {
                 PushOutcome::Enqueued => {}

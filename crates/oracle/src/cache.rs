@@ -239,6 +239,7 @@ impl CacheHarness {
             trigger_pc: u(e, "pc"),
             source: PrefetchSource::from_json(&JsonValue::Str(s(e, "source").to_string()))
                 .unwrap_or_else(|err| panic!("bad prefetch source in {e}: {err}")),
+            tenant: 0,
         }
     }
 
@@ -358,6 +359,7 @@ mod tests {
             line,
             trigger_pc: 0x1000,
             source: PrefetchSource::Nsp,
+            tenant: 0,
         }
     }
 

@@ -16,21 +16,30 @@
 //!   disagreement (the tournament rule).
 //! * A rejected target recorded in the reject log recovers (trains good)
 //!   when a demand miss to it arrives within the freshness window.
+//! * The hardened variants (DESIGN.md §12): a nonzero `hash_salt` keys the
+//!   fold through per-half affine permutations (re-derived here, not
+//!   imported), tag-mixed per tenant; `tenant_partitions > 1` confines
+//!   each tenant to its own slice of every table.
 //!
 //! The adaptive gate is deliberately **not** modelled: campaigns run with
 //! `adaptive_accuracy_threshold = None` and the harness refuses gated
 //! configs, keeping the oracle a model of the paper mechanism only.
 
-use crate::event::{obj, op, s, u};
+use crate::event::{obj, op, s, u, u_or};
 use crate::Harness;
 use ppf_filter::{FilterStats, PollutionFilter};
 use ppf_types::{
     CounterInit, FilterConfig, FilterKind, FromJson, JsonValue, LineAddr, PrefetchOrigin,
-    PrefetchRequest, PrefetchSource, ToJson,
+    PrefetchRequest, PrefetchSource, ToJson, MAX_TENANTS,
 };
 
 /// Mirror of the real reject-log geometry (`ppf_filter::recovery`).
 const REJECT_LOG_ENTRIES: usize = 4096;
+
+/// Mirror of the tenant tag-mix constant (DESIGN.md §12): a nonzero salt is
+/// XORed with `tenant * TENANT_TAG_MIX` so each tenant indexes through its
+/// own keyed permutation.
+const TENANT_TAG_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// XOR-fold to 16 bits, re-derived from the spec (not imported from the
 /// implementation under test).
@@ -38,12 +47,41 @@ fn fold16(v: u64) -> u64 {
     (v ^ (v >> 16) ^ (v >> 32) ^ (v >> 48)) & 0xffff
 }
 
-fn pa_key(line: LineAddr) -> u64 {
-    fold16(line.0)
+/// SplitMix64 finalizer — the salted fold's key-expansion step, re-derived
+/// from DESIGN.md §12.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-fn pc_key(pc: u64) -> u64 {
-    fold16(pc >> 2)
+/// Salt-keyed affine permutation of one 16-bit half: `(x ^ a) * m + b`
+/// modulo 2^16, multiplier forced odd.
+fn scramble16(half: u64, key: u64) -> u64 {
+    let a = key & 0xffff;
+    let m = (key >> 16) | 1;
+    let b = key >> 48;
+    ((half ^ a).wrapping_mul(m)).wrapping_add(b) & 0xffff
+}
+
+/// Keyed fold: each 16-bit half through its own salt-derived permutation,
+/// then XOR. Salt 0 is the plain [`fold16`].
+fn fold16_salted(v: u64, salt: u64) -> u64 {
+    if salt == 0 {
+        return fold16(v);
+    }
+    scramble16(v & 0xffff, mix64(salt ^ 0x9e37_79b9_7f4a_7c15))
+        ^ scramble16((v >> 16) & 0xffff, mix64(salt ^ 0xd1b5_4a32_d192_ed03))
+        ^ scramble16((v >> 32) & 0xffff, mix64(salt ^ 0x8cb9_2ba7_2f3d_8dd7))
+        ^ scramble16(v >> 48, mix64(salt ^ 0x52db_cc63_35f6_11c9))
+}
+
+fn pa_key(line: LineAddr, salt: u64) -> u64 {
+    fold16_salted(line.0, salt)
+}
+
+fn pc_key(pc: u64, salt: u64) -> u64 {
+    fold16_salted(pc >> 2, salt)
 }
 
 /// Largest power of two `<= n` (`n >= 1`), written the slow obvious way.
@@ -60,6 +98,7 @@ struct Rejection {
     line: LineAddr,
     key: u64,
     table: usize,
+    tenant: u8,
     stamp: u64,
 }
 
@@ -73,6 +112,8 @@ pub struct RefFilter {
     threshold: u8,
     reject: Option<Vec<Option<Rejection>>>,
     window: u64,
+    salt: u64,
+    partitions: usize,
     stats: FilterStats,
 }
 
@@ -120,19 +161,39 @@ impl RefFilter {
             reject: (cfg.kind != FilterKind::None && cfg.recovery_window > 0)
                 .then(|| vec![None; REJECT_LOG_ENTRIES]),
             window: cfg.recovery_window,
+            salt: cfg.hash_salt,
+            partitions: cfg.tenant_partitions.clamp(1, MAX_TENANTS),
             stats: FilterStats::default(),
         })
     }
 
-    fn predicts_good(&self, table: usize, key: u64) -> bool {
-        let t = &self.tables[table];
-        t[(key as usize) % t.len()] > self.threshold
+    /// The salt a lookup from `tenant` hashes with: the configured salt with
+    /// the tenant ID tag-mixed in; identity when salting is off.
+    fn effective_salt(&self, tenant: u8) -> u64 {
+        if self.salt == 0 {
+            0
+        } else {
+            self.salt ^ (tenant as u64).wrapping_mul(TENANT_TAG_MIX)
+        }
     }
 
-    fn train(&mut self, table: usize, key: u64, good: bool) {
+    /// Partitioned slot: tenant `t` owns the `t % P` region of `len / P`
+    /// consecutive counters and `key` indexes within it. `P = 1` degenerates
+    /// to plain `key % len`.
+    fn slot(&self, len: usize, key: u64, tenant: u8) -> usize {
+        let region = len / self.partitions;
+        (tenant as usize % self.partitions) * region + (key as usize) % region
+    }
+
+    fn predicts_good(&self, table: usize, key: u64, tenant: u8) -> bool {
+        let t = &self.tables[table];
+        t[self.slot(t.len(), key, tenant)] > self.threshold
+    }
+
+    fn train(&mut self, table: usize, key: u64, tenant: u8, good: bool) {
         let max = self.max;
+        let slot = self.slot(self.tables[table].len(), key, tenant);
         let t = &mut self.tables[table];
-        let slot = (key as usize) % t.len();
         t[slot] = if good {
             t[slot].saturating_add(1).min(max)
         } else {
@@ -150,40 +211,55 @@ impl RefFilter {
 
     /// The `(decision key, table)` a non-hybrid lookup or training event
     /// resolves to; `None` only for `FilterKind::None`.
-    fn flat_key(&self, line: LineAddr, pc: u64, source: PrefetchSource) -> Option<(u64, usize)> {
+    fn flat_key(
+        &self,
+        line: LineAddr,
+        pc: u64,
+        source: PrefetchSource,
+        tenant: u8,
+    ) -> Option<(u64, usize)> {
+        let salt = self.effective_salt(tenant);
         match self.kind {
             FilterKind::None | FilterKind::Hybrid => None,
-            FilterKind::Pa => Some((pa_key(line), self.table_for(source))),
-            FilterKind::Pc => Some((pc_key(pc), self.table_for(source))),
+            FilterKind::Pa => Some((pa_key(line, salt), self.table_for(source))),
+            FilterKind::Pc => Some((pc_key(pc, salt), self.table_for(source))),
         }
     }
 
     /// Hybrid lookup: the chooser (PC-indexed) picks which component table
     /// decides.
-    fn hybrid_key(&self, line: LineAddr, pc: u64) -> (u64, usize) {
-        let pck = pc_key(pc);
+    fn hybrid_key(&self, line: LineAddr, pc: u64, tenant: u8) -> (u64, usize) {
+        let salt = self.effective_salt(tenant);
+        let pck = pc_key(pc, salt);
         let trust_pc = match &self.chooser {
-            Some(c) => c[(pck as usize) % c.len()] > self.threshold,
+            Some(c) => c[self.slot(c.len(), pck, tenant)] > self.threshold,
             None => false,
         };
         if trust_pc {
             (pck, 1)
         } else {
-            (pa_key(line), 0)
+            (pa_key(line, salt), 0)
         }
     }
 
     /// Mirror of [`PollutionFilter::should_prefetch`].
-    pub fn lookup(&mut self, line: LineAddr, pc: u64, source: PrefetchSource, now: u64) -> bool {
+    pub fn lookup(
+        &mut self,
+        line: LineAddr,
+        pc: u64,
+        source: PrefetchSource,
+        tenant: u8,
+        now: u64,
+    ) -> bool {
         let (key, table) = match self.kind {
             FilterKind::None => {
                 self.stats.allowed += 1;
                 return true;
             }
-            FilterKind::Hybrid => self.hybrid_key(line, pc),
-            _ => self.flat_key(line, pc, source).expect("flat kind"),
+            FilterKind::Hybrid => self.hybrid_key(line, pc, tenant),
+            _ => self.flat_key(line, pc, source, tenant).expect("flat kind"),
         };
-        let good = self.predicts_good(table, key);
+        let good = self.predicts_good(table, key, tenant);
         if good {
             self.stats.allowed += 1;
         } else {
@@ -193,6 +269,7 @@ impl RefFilter {
                     line,
                     key,
                     table,
+                    tenant,
                     stamp: now,
                 });
             }
@@ -201,21 +278,32 @@ impl RefFilter {
     }
 
     /// Mirror of [`PollutionFilter::on_eviction`].
-    pub fn evict(&mut self, line: LineAddr, pc: u64, source: PrefetchSource, referenced: bool) {
+    pub fn evict(
+        &mut self,
+        line: LineAddr,
+        pc: u64,
+        source: PrefetchSource,
+        tenant: u8,
+        referenced: bool,
+    ) {
         if referenced {
             self.stats.trained_good += 1;
         } else {
             self.stats.trained_bad += 1;
         }
         if self.kind == FilterKind::Hybrid {
-            let (pak, pck) = (pa_key(line), pc_key(pc));
-            let pa_right = self.predicts_good(0, pak) == referenced;
-            let pc_right = self.predicts_good(1, pck) == referenced;
-            self.train(0, pak, referenced);
-            self.train(1, pck, referenced);
+            let salt = self.effective_salt(tenant);
+            let (pak, pck) = (pa_key(line, salt), pc_key(pc, salt));
+            let pa_right = self.predicts_good(0, pak, tenant) == referenced;
+            let pc_right = self.predicts_good(1, pck, tenant) == referenced;
+            self.train(0, pak, tenant, referenced);
+            self.train(1, pck, tenant, referenced);
             if pa_right != pc_right {
-                if let Some(c) = &mut self.chooser {
-                    let slot = (pck as usize) % c.len();
+                let slot = self
+                    .chooser
+                    .as_ref()
+                    .map(|c| self.slot(c.len(), pck, tenant));
+                if let (Some(c), Some(slot)) = (&mut self.chooser, slot) {
                     c[slot] = if pc_right {
                         c[slot].saturating_add(1).min(self.max)
                     } else {
@@ -223,12 +311,14 @@ impl RefFilter {
                     };
                 }
             }
-        } else if let Some((key, table)) = self.flat_key(line, pc, source) {
-            self.train(table, key, referenced);
+        } else if let Some((key, table)) = self.flat_key(line, pc, source, tenant) {
+            self.train(table, key, tenant, referenced);
         }
     }
 
-    /// Mirror of [`PollutionFilter::on_demand_miss`].
+    /// Mirror of [`PollutionFilter::on_demand_miss`]. The recovering train
+    /// goes to the tenant recorded with the rejection, not the missing
+    /// request's — the log remembers whose counter vetoed.
     pub fn demand_miss(&mut self, line: LineAddr, now: u64) {
         let Some(log) = &mut self.reject else {
             return;
@@ -239,7 +329,7 @@ impl RefFilter {
                 log[slot] = None;
                 if now.saturating_sub(r.stamp) <= self.window {
                     self.stats.recovered += 1;
-                    self.train(r.table, r.key, true);
+                    self.train(r.table, r.key, r.tenant, true);
                 }
             }
             _ => {}
@@ -324,6 +414,9 @@ impl Harness for FilterHarness {
 
     fn step(&mut self, event: &JsonValue) -> Result<(), String> {
         let line = LineAddr(u(event, "line"));
+        // Lenient: repros committed before multi-tenant hardening carry no
+        // tenant field and replay with the pre-extension semantics.
+        let tenant = u_or(event, "tenant", 0) as u8;
         match op(event) {
             "lookup" => {
                 let pc = u(event, "pc");
@@ -333,9 +426,10 @@ impl Harness for FilterHarness {
                     line,
                     trigger_pc: pc,
                     source,
+                    tenant,
                 };
                 let real = self.real.should_prefetch(&req, now);
-                let oracle = self.oracle.lookup(line, pc, source, now);
+                let oracle = self.oracle.lookup(line, pc, source, tenant, now);
                 if real != oracle {
                     return Err(format!(
                         "lookup decision: real {real} vs oracle {oracle} for {event}"
@@ -350,9 +444,10 @@ impl Harness for FilterHarness {
                     line,
                     trigger_pc: pc,
                     source,
+                    tenant,
                 };
                 self.real.on_eviction(&origin, referenced);
-                self.oracle.evict(line, pc, source, referenced);
+                self.oracle.evict(line, pc, source, tenant, referenced);
             }
             "demand_miss" => {
                 let now = u(event, "now");
@@ -371,12 +466,19 @@ fn source_of(e: &JsonValue) -> PrefetchSource {
 }
 
 /// Build a lookup event (shared with the sim tap replay in tests).
-pub fn lookup_event(line: LineAddr, pc: u64, source: PrefetchSource, now: u64) -> JsonValue {
+pub fn lookup_event(
+    line: LineAddr,
+    pc: u64,
+    source: PrefetchSource,
+    tenant: u8,
+    now: u64,
+) -> JsonValue {
     obj(&[
         ("op", JsonValue::Str("lookup".into())),
         ("line", line.0.to_json()),
         ("pc", pc.to_json()),
         ("source", source.to_json()),
+        ("tenant", (tenant as u64).to_json()),
         ("now", now.to_json()),
     ])
 }
@@ -395,16 +497,16 @@ mod tests {
     #[test]
     fn weakly_good_first_touch_passes() {
         let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
-        assert!(f.lookup(LineAddr(5), 0x100, PrefetchSource::Nsp, 0));
+        assert!(f.lookup(LineAddr(5), 0x100, PrefetchSource::Nsp, 0, 0));
     }
 
     #[test]
     fn two_bad_outcomes_reject_then_recovery_trains_back() {
         let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
         let l = LineAddr(5);
-        f.evict(l, 0x100, PrefetchSource::Nsp, false);
-        f.evict(l, 0x100, PrefetchSource::Nsp, false);
-        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 10));
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 10));
         f.demand_miss(l, 20);
         assert_eq!(f.stats().recovered, 1);
     }
@@ -413,11 +515,54 @@ mod tests {
     fn stale_recovery_is_dropped() {
         let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
         let l = LineAddr(5);
-        f.evict(l, 0x100, PrefetchSource::Nsp, false);
-        f.evict(l, 0x100, PrefetchSource::Nsp, false);
-        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0));
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 0));
         f.demand_miss(l, 100_000);
         assert_eq!(f.stats().recovered, 0, "beyond the freshness window");
+    }
+
+    #[test]
+    fn salted_fold_matches_the_real_hash() {
+        // The oracle re-derives the keyed fold from DESIGN.md §12; it must
+        // land on the same 16-bit keys as `ppf_filter::hash` for every salt.
+        for salt in [0u64, 1, 0x5eed_cafe_f00d_d00d, u64::MAX] {
+            for v in [0u64, 5, 0xdead_beef, 0x1234_5678_9abc_def0, u64::MAX] {
+                assert_eq!(
+                    fold16_salted(v, salt),
+                    ppf_filter::hash::fold16_salted(v, salt),
+                    "salt {salt:#x} value {v:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_filter_isolates_tenants() {
+        let mut c = cfg(FilterKind::Pa);
+        c.tenant_partitions = 4;
+        let mut f = RefFilter::new(&c).unwrap();
+        let l = LineAddr(5);
+        // Tenant 1 poisons its counter for the line...
+        f.evict(l, 0x100, PrefetchSource::Nsp, 1, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, 1, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 1, 0));
+        // ...and every other tenant's view of the same line is untouched.
+        for victim in [0u8, 2, 3] {
+            assert!(f.lookup(l, 0x100, PrefetchSource::Nsp, victim, 0));
+        }
+    }
+
+    #[test]
+    fn tag_mixed_salt_separates_tenant_keys() {
+        // With a nonzero salt, the same line hashes to different keys for
+        // different tenants even in a shared (P=1) table.
+        let mut c = cfg(FilterKind::Pa);
+        c.hash_salt = 0x5eed_cafe_f00d_d00d;
+        let f = RefFilter::new(&c).unwrap();
+        let k0 = pa_key(LineAddr(5), f.effective_salt(0));
+        let k1 = pa_key(LineAddr(5), f.effective_salt(1));
+        assert_ne!(k0, k1, "tenants must index through distinct permutations");
     }
 
     #[test]

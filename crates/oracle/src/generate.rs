@@ -84,6 +84,11 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
     let kind = *rng.pick(&["Pa", "Pc", "Hybrid"]);
     // split_by_source only applies to the flat kinds.
     let split = kind != "Hybrid" && rng.chance(0.25);
+    // Half the campaign runs hardened: a random keyed-hash salt and/or a
+    // partitioned table, so the salted fold and the per-tenant slot math
+    // stay under lockstep alongside the paper's shared-table baseline.
+    let salt = if rng.chance(0.5) { rng.next_u64() } else { 0 };
+    let partitions = *rng.pick(&[1u64, 1, 2, 4]);
     let config = obj(&[
         ("kind", JsonValue::Str(kind.into())),
         ("table_entries", rng.pick(&[64u64, 128, 256]).to_json()),
@@ -104,6 +109,8 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
             .to_json(),
         ),
         ("split_by_source", split.to_json()),
+        ("hash_salt", salt.to_json()),
+        ("tenant_partitions", partitions.to_json()),
     ]);
     let n = 240 + rng.below(120);
     let mut events = Vec::with_capacity(n as usize);
@@ -111,8 +118,10 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
     for _ in 0..n {
         now += rng.below(20);
         // A small line pool relative to the reject log makes demand misses
-        // actually land on logged rejections.
+        // actually land on logged rejections. Tenants run past MAX_TENANTS
+        // so the partition wrap-around is exercised too.
         let line = rng.below(512).to_json();
+        let tenant = rng.below(6).to_json();
         let roll = rng.below(100);
         events.push(match roll {
             0..=39 => obj(&[
@@ -120,6 +129,7 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
                 ("line", line),
                 ("pc", pc(rng, 64).to_json()),
                 ("source", source(rng)),
+                ("tenant", tenant),
                 ("now", now.to_json()),
             ]),
             40..=79 => obj(&[
@@ -127,6 +137,7 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
                 ("line", line),
                 ("pc", pc(rng, 64).to_json()),
                 ("source", source(rng)),
+                ("tenant", tenant),
                 ("referenced", rng.chance(0.5).to_json()),
             ]),
             _ => obj(&[

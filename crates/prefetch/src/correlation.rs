@@ -130,6 +130,7 @@ impl Prefetcher for CorrelationPrefetcher {
                     line: *succ,
                     trigger_pc: ev.pc,
                     source: PrefetchSource::Stride,
+                    tenant: 0,
                 });
             }
         }

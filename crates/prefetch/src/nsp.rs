@@ -54,6 +54,7 @@ impl Prefetcher for NextSequencePrefetcher {
                 line: ev.line.offset(d),
                 trigger_pc: ev.pc,
                 source: PrefetchSource::Nsp,
+                tenant: 0,
             });
         }
     }
@@ -111,6 +112,7 @@ mod tests {
             line: LineAddr(1),
             trigger_pc: 0,
             source: PrefetchSource::Sdp,
+            tenant: 0,
         }];
         p.on_access(&miss_event(0x100, 10, true), &mut out);
         assert_eq!(out.len(), 2, "existing requests preserved");

@@ -180,6 +180,7 @@ impl Prefetcher for ShadowDirectoryPrefetcher {
                     line: shadow,
                     trigger_pc: ev.pc,
                     source: PrefetchSource::Sdp,
+                    tenant: 0,
                 });
                 self.push_pending(shadow, slot);
             }

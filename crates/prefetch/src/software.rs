@@ -19,6 +19,7 @@ pub fn request_for(pc: Pc, addr: Addr, line_bytes: u32) -> PrefetchRequest {
         line: LineAddr::of(addr, line_bytes),
         trigger_pc: pc,
         source: PrefetchSource::Software,
+        tenant: 0,
     }
 }
 

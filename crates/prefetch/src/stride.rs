@@ -132,6 +132,7 @@ impl Prefetcher for StridePrefetcher {
                     line: target_line,
                     trigger_pc: ev.pc,
                     source: PrefetchSource::Stride,
+                    tenant: 0,
                 });
             }
         }

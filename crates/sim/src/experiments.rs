@@ -21,7 +21,7 @@ use crate::simulator::{Simulator, WatchdogConfig};
 use ppf_cpu::InstStream;
 use ppf_types::telemetry::{JsonlSink, TelemetryConfig};
 use ppf_types::{json_struct, FilterKind, PpfError, PrefetchConfig, SplitMix64, SystemConfig};
-use ppf_workloads::{FaultSpec, FaultStream, Workload};
+use ppf_workloads::{AdversarySpec, AdversaryStream, AttackKind, FaultSpec, FaultStream, Workload};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -59,6 +59,9 @@ pub struct RunSpec {
     /// Fault to inject into the instruction stream (tests and CI fault
     /// drills only; `None` everywhere else).
     pub fault: Option<FaultSpec>,
+    /// Adversarial campaign mounted against this cell's workload
+    /// (attack-matrix figures, CI attack drills; `None` everywhere else).
+    pub adversary: Option<AdversarySpec>,
     /// Interval-telemetry stream for this cell (`None` everywhere except
     /// explicitly instrumented runs — telemetry is off by default).
     pub telemetry: Option<TelemetrySpec>,
@@ -89,6 +92,7 @@ impl RunSpec {
             warmup: DEFAULT_WARMUP,
             watchdog: WatchdogConfig::default(),
             fault: None,
+            adversary: None,
             telemetry: None,
         }
     }
@@ -105,6 +109,12 @@ impl RunSpec {
     /// Inject `fault` into this cell's instruction stream.
     pub fn with_fault(mut self, fault: FaultSpec) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Mount `adversary`'s attack campaign against this cell's workload.
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -154,9 +164,19 @@ impl RunSpec {
     /// Execute this cell, surfacing failures (invalid config, watchdog
     /// trip, funnel violation) as structured errors.
     pub fn run_checked(&self) -> Result<SimReport, PpfError> {
-        let stream: Box<dyn InstStream> = match self.fault {
-            Some(fault) => Box::new(FaultStream::new(self.workload.stream(self.seed), fault)),
-            None => Box::new(self.workload.stream(self.seed)),
+        // Composition order matters: the fault wrapper sits outermost so a
+        // fault drill trips at the same emitted-instruction index whether
+        // or not an adversary is also mixed in.
+        let stream: Box<dyn InstStream> = match (self.adversary, self.fault) {
+            (Some(adv), Some(fault)) => Box::new(FaultStream::new(
+                AdversaryStream::new(adv, self.workload, self.seed),
+                fault,
+            )),
+            (Some(adv), None) => Box::new(AdversaryStream::new(adv, self.workload, self.seed)),
+            (None, Some(fault)) => {
+                Box::new(FaultStream::new(self.workload.stream(self.seed), fault))
+            }
+            (None, None) => Box::new(self.workload.stream(self.seed)),
         };
         let sim = Simulator::with_seed(self.config.clone(), stream, self.seed)
             .map_err(|e| e.context(self.identity()))?;
@@ -206,6 +226,9 @@ pub struct CellFailure {
     pub error: PpfError,
     /// Attempts made (first run + retries).
     pub attempts: u32,
+    /// When the cell was under adversarial attack: the attacking tenant,
+    /// so partial-failure reports name who was hammering the machine.
+    pub attacking_tenant: Option<u8>,
 }
 
 json_struct!(CellFailure {
@@ -214,6 +237,7 @@ json_struct!(CellFailure {
     seed,
     error,
     attempts,
+    attacking_tenant,
 });
 
 /// The outcome of one panic-isolated grid cell. The report is boxed so a
@@ -283,6 +307,7 @@ fn run_cell_isolated(spec: &RunSpec) -> CellOutcome {
         seed: spec.seed,
         error: last_error,
         attempts: MAX_ATTEMPTS,
+        attacking_tenant: spec.adversary.map(|a| a.attack.attacking_tenant()),
     })
 }
 
@@ -574,6 +599,49 @@ pub fn cache_vs_table(n: u64) -> Vec<RunSpec> {
         SystemConfig::paper_default().with_l1_16k(),
         n,
     ));
+    grid
+}
+
+/// The pinned nonzero hash salt used by every hardened configuration (the
+/// value is arbitrary; pinning it keeps hardened runs reproducible).
+pub const HARDENING_SALT: u64 = 0x5eed_cafe_f00d_d00d;
+
+/// The filter hardening levels compared in the attack matrix:
+/// `(label, hash_salt, tenant_partitions)`.
+pub const HARDENINGS: [(&str, u64, usize); 4] = [
+    ("unhardened", 0, 1),
+    ("salted", HARDENING_SALT, 1),
+    ("partitioned", 0, 4),
+    ("hardened", HARDENING_SALT, 4),
+];
+
+/// The adversarial attack-vs-hardening matrix (DESIGN.md §12): every
+/// [`AttackKind`] × hardening level × {PA, PC, Hybrid} on em3d, plus one
+/// clean (attack-free) cell per configuration as the recovery baseline.
+/// Attack windows scale with the budget: the campaign opens after an
+/// eighth of the measured run and closes at the midpoint, leaving half the
+/// run to observe recovery.
+pub fn attack_matrix(n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for kind in [FilterKind::Pa, FilterKind::Pc, FilterKind::Hybrid] {
+        for (hardening, salt, partitions) in HARDENINGS {
+            let cfg = SystemConfig::paper_default()
+                .with_filter(kind)
+                .with_hash_salt(salt)
+                .with_tenant_partitions(partitions);
+            let base = format!("{}/{hardening}", kind.label());
+            grid.push(
+                RunSpec::new(format!("{base}/clean"), cfg.clone(), Workload::Em3d).instructions(n),
+            );
+            for attack in AttackKind::ALL {
+                let spec = RunSpec::new(format!("{base}/{attack}"), cfg.clone(), Workload::Em3d)
+                    .instructions(n);
+                let window =
+                    AdversarySpec::window(attack, spec.warmup + n / 8, spec.warmup + n / 2);
+                grid.push(spec.with_adversary(window));
+            }
+        }
+    }
     grid
 }
 

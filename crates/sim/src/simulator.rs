@@ -27,8 +27,8 @@ use ppf_prefetch::{
 };
 use ppf_types::telemetry::{IntervalRecord, IntervalSampler, TelemetryConfig};
 use ppf_types::{
-    Addr, Cycle, LineAddr, Pc, PpfError, PrefetchOrigin, PrefetchRequest, PrefetchSource, SimStats,
-    SystemConfig,
+    tenant_of_addr, Addr, Cycle, LineAddr, Pc, PpfError, PrefetchOrigin, PrefetchRequest,
+    PrefetchSource, SimStats, SystemConfig,
 };
 
 use crate::report::SimReport;
@@ -88,6 +88,8 @@ pub enum FilterTapEvent {
         source: PrefetchSource,
         /// Cycle of the lookup.
         now: Cycle,
+        /// Tenant the request is charged to (selects salt/partition).
+        tenant: u8,
         /// The real filter's admit/drop decision.
         admitted: bool,
     },
@@ -99,6 +101,8 @@ pub enum FilterTapEvent {
         pc: Pc,
         /// Generating prefetcher from the line's provenance.
         source: PrefetchSource,
+        /// Tenant from the line's provenance.
+        tenant: u8,
         /// The line's RIB: was it referenced during residency?
         referenced: bool,
     },
@@ -195,6 +199,7 @@ impl MemSystem {
                 pc: req.trigger_pc,
                 source: req.source,
                 now,
+                tenant: req.tenant,
                 admitted,
             });
         }
@@ -209,6 +214,7 @@ impl MemSystem {
                 line: origin.line,
                 pc: origin.trigger_pc,
                 source: origin.source,
+                tenant: origin.tenant,
                 referenced,
             });
         }
@@ -249,6 +255,12 @@ impl MemSystem {
     /// Fills still in flight at `now` — the interval-telemetry MSHR gauge.
     pub fn mshr_live(&self, now: Cycle) -> usize {
         self.hierarchy.mshr_live(now)
+    }
+
+    /// Per-tenant prefetch-outcome and interference counters from the L1
+    /// (DESIGN.md §12 — who caused what).
+    pub fn tenant_attribution(&self) -> &ppf_mem::TenantAttribution {
+        self.hierarchy.l1.tenant_attribution()
     }
 
     /// Record the good/bad outcome of an evicted prefetched line and train
@@ -397,10 +409,15 @@ impl MemoryPort for MemSystem {
             l2_hit: res.l2_hit.unwrap_or(false),
             is_store,
         };
+        // Tenant assignment happens exactly here: every prefetch a demand
+        // access triggers is charged to the tenant whose address region the
+        // access touched, before the request enters the filter funnel.
+        let tenant = tenant_of_addr(addr);
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         self.hw.on_access(&event, &mut scratch);
-        for req in scratch.drain(..) {
+        for mut req in scratch.drain(..) {
+            req.tenant = tenant;
             self.submit_prefetch(req, now);
         }
         self.scratch = scratch;
@@ -422,7 +439,8 @@ impl MemoryPort for MemSystem {
         if !self.software_enabled {
             return;
         }
-        let req = software::request_for(pc, addr, self.line_bytes);
+        let mut req = software::request_for(pc, addr, self.line_bytes);
+        req.tenant = tenant_of_addr(addr);
         self.submit_prefetch(req, now);
     }
 }

@@ -296,6 +296,22 @@ pub struct FilterConfig {
     /// extension ablation (DESIGN.md §7): one source's mispredictions then
     /// cannot poison another source's counters for the same line/PC.
     pub split_by_source: bool,
+    /// Keyed hash salt for the PA/PC index functions (DESIGN.md §12). `0`
+    /// (the default) keeps the paper's plain XOR-fold hash bit-for-bit; any
+    /// other value scrambles each 16-bit address half through a salt-derived
+    /// affine permutation before folding, so an attacker who can compute the
+    /// public hash cannot construct address sets that collide into a chosen
+    /// table index. The salt is fixed per run (deterministic given the
+    /// config), mirroring a per-boot hardware key register.
+    pub hash_salt: u64,
+    /// Split every history table into this many equal per-tenant partitions
+    /// (DESIGN.md §12). `1` (the default) is the shared table of the paper;
+    /// with `P > 1` a request from tenant `t` can only read and train the
+    /// `t % P` partition, so one tenant's eviction feedback cannot saturate
+    /// another tenant's counters. Power of two, at most [`MAX_TENANTS`].
+    ///
+    /// [`MAX_TENANTS`]: crate::prefetch::MAX_TENANTS
+    pub tenant_partitions: usize,
 }
 
 impl Default for FilterConfig {
@@ -309,6 +325,8 @@ impl Default for FilterConfig {
             adaptive_window: 1024,
             recovery_window: 400,
             split_by_source: false,
+            hash_salt: 0,
+            tenant_partitions: 1,
         }
     }
 }
@@ -475,6 +493,20 @@ impl SystemConfig {
         self
     }
 
+    /// Hardening (DESIGN.md §12): key the PA/PC hash with `salt`
+    /// (`0` restores the plain, attacker-predictable hash).
+    pub fn with_hash_salt(mut self, salt: u64) -> Self {
+        self.filter.hash_salt = salt;
+        self
+    }
+
+    /// Hardening (DESIGN.md §12): partition every history table into
+    /// `partitions` per-tenant regions (`1` restores the shared table).
+    pub fn with_tenant_partitions(mut self, partitions: usize) -> Self {
+        self.filter.tenant_partitions = partitions;
+        self
+    }
+
     /// §5.5: enable the dedicated 16-entry prefetch buffer.
     pub fn with_prefetch_buffer(mut self) -> Self {
         self.buffer.enabled = true;
@@ -523,6 +555,25 @@ impl SystemConfig {
             return Err(PpfError::config_invalid(
                 "hybrid filter and split-by-source are mutually exclusive",
             ));
+        }
+        if !self.filter.tenant_partitions.is_power_of_two()
+            || self.filter.tenant_partitions > crate::prefetch::MAX_TENANTS
+        {
+            return Err(PpfError::config_invalid(format!(
+                "tenant_partitions {} must be a power of two in 1..={}",
+                self.filter.tenant_partitions,
+                crate::prefetch::MAX_TENANTS
+            )));
+        }
+        if self.filter.tenant_partitions > 1
+            && self.filter.table_entries < 4 * self.filter.tenant_partitions
+        {
+            // Each partition must keep at least a handful of counters, or
+            // the partitioned filter degenerates into a single shared bit.
+            return Err(PpfError::config_invalid(format!(
+                "table_entries {} too small for {} tenant partitions",
+                self.filter.table_entries, self.filter.tenant_partitions
+            )));
         }
         if self.buffer.enabled && self.buffer.entries == 0 {
             return Err(PpfError::config_invalid(
@@ -611,6 +662,8 @@ json_struct!(FilterConfig {
     adaptive_window,
     recovery_window,
     split_by_source,
+    hash_salt,
+    tenant_partitions,
 });
 
 json_struct!(VictimConfig { enabled, entries });
@@ -725,6 +778,25 @@ mod tests {
         let mut c = SystemConfig::paper_default();
         c.prefetch.queue_len = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_bounds_tenant_partitions() {
+        let mut c = SystemConfig::paper_default();
+        c.filter.tenant_partitions = 3;
+        assert!(c.validate().is_err(), "non-power-of-two partitions");
+        let mut c = SystemConfig::paper_default();
+        c.filter.tenant_partitions = 8;
+        assert!(c.validate().is_err(), "more partitions than tenants");
+        let mut c = SystemConfig::paper_default().with_tenant_partitions(4);
+        c.filter.table_entries = 8;
+        assert!(c.validate().is_err(), "partitions starve the table");
+        let c = SystemConfig::paper_default()
+            .with_hash_salt(0xDEAD_BEEF)
+            .with_tenant_partitions(4);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.filter.hash_salt, 0xDEAD_BEEF);
+        assert_eq!(c.filter.tenant_partitions, 4);
     }
 
     #[test]

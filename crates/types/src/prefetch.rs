@@ -8,8 +8,30 @@
 //! with the cache line as [`PrefetchOrigin`] — the software analogue of the
 //! "separate data path" for the PC that §4.2 of the paper describes.
 
-use crate::addr::{LineAddr, Pc};
+use crate::addr::{Addr, LineAddr, Pc};
 use crate::json_unit_enum;
+
+/// Maximum number of distinct tenants the machine distinguishes. Sized for
+/// the adversarial multi-program experiments (victim + aggressor, with two
+/// spare IDs); per-tenant attribution arrays are indexed `0..MAX_TENANTS`.
+pub const MAX_TENANTS: usize = 4;
+
+/// Bit position, in a *byte* address, of the tenant ID field. The
+/// multi-program interleave workloads place each tenant in its own
+/// address-space region by offsetting every address (and PC) of tenant `t`
+/// by `t << TENANT_ADDR_SHIFT`; everything below that bit is ordinary
+/// workload footprint. Single-program workloads never set these bits, so
+/// they are all tenant 0 and behave exactly as before.
+pub const TENANT_ADDR_SHIFT: u32 = 41;
+
+/// The tenant ID encoded in a byte address (0 for every pre-existing
+/// workload). This is the *only* place a tenant is ever derived; from here
+/// it is threaded explicitly through [`PrefetchRequest`] →
+/// [`PrefetchOrigin`] → cache-line provenance → eviction feedback.
+#[inline]
+pub fn tenant_of_addr(addr: Addr) -> u8 {
+    ((addr >> TENANT_ADDR_SHIFT) as usize & (MAX_TENANTS - 1)) as u8
+}
 
 /// Which generator produced a prefetch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +98,12 @@ pub struct PrefetchRequest {
     pub trigger_pc: Pc,
     /// Generator that produced the request.
     pub source: PrefetchSource,
+    /// Tenant whose demand traffic triggered the request (0 outside the
+    /// multi-program experiments). Assigned once at the memory-system
+    /// boundary from the triggering access's address region, then carried
+    /// unchanged through filtering, queueing and the cache-line provenance
+    /// so eviction feedback is charged to the tenant that caused it.
+    pub tenant: u8,
 }
 
 impl PrefetchRequest {
@@ -86,6 +114,7 @@ impl PrefetchRequest {
             line: self.line,
             trigger_pc: self.trigger_pc,
             source: self.source,
+            tenant: self.tenant,
         }
     }
 }
@@ -99,6 +128,8 @@ pub struct PrefetchOrigin {
     pub trigger_pc: Pc,
     /// Generator that produced the prefetch.
     pub source: PrefetchSource,
+    /// Tenant the prefetch is charged to (see [`PrefetchRequest::tenant`]).
+    pub tenant: u8,
 }
 
 #[cfg(test)]
@@ -128,11 +159,26 @@ mod tests {
             line: LineAddr(77),
             trigger_pc: 0x4000,
             source: PrefetchSource::Sdp,
+            tenant: 2,
         };
         let o = req.origin();
         assert_eq!(o.line, req.line);
         assert_eq!(o.trigger_pc, req.trigger_pc);
         assert_eq!(o.source, req.source);
+        assert_eq!(o.tenant, req.tenant);
+    }
+
+    #[test]
+    fn tenant_derivation_matches_region_layout() {
+        assert_eq!(tenant_of_addr(0), 0);
+        assert_eq!(tenant_of_addr(0x3000_0000), 0, "ordinary workload region");
+        for t in 0..MAX_TENANTS as u64 {
+            let base = t << TENANT_ADDR_SHIFT;
+            assert_eq!(tenant_of_addr(base), t as u8);
+            assert_eq!(tenant_of_addr(base + 0x1234_5678), t as u8);
+        }
+        // IDs wrap modulo MAX_TENANTS rather than escaping the arrays.
+        assert!((tenant_of_addr(u64::MAX) as usize) < MAX_TENANTS);
     }
 
     #[test]

@@ -26,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod fault;
 pub mod model;
 pub mod patterns;
 pub mod suite;
 pub mod trace;
 
+pub use adversary::{AdversarySpec, AdversaryStream, AttackKind, ATTACK_TENANT};
 pub use fault::{FaultMode, FaultSpec, FaultStream};
 pub use model::{MixStream, WorkloadSpec};
 pub use patterns::{PatternKind, PatternSpec, SwPrefetchSpec};

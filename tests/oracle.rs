@@ -115,8 +115,8 @@ fn replay_committed_corpus() {
         .collect();
     files.sort();
     assert!(
-        files.len() >= 3,
-        "seed corpus must hold at least 3 cases, found {}: {files:?}",
+        files.len() >= 5,
+        "seed corpus must hold at least 5 cases (including the two attack campaigns), found {}: {files:?}",
         files.len()
     );
     for f in &files {
@@ -225,9 +225,10 @@ fn live_sim_filter_traffic_replays_into_the_oracle() {
                 pc,
                 source,
                 now,
+                tenant,
                 admitted,
             } => {
-                let o = oracle.lookup(line, pc, source, now);
+                let o = oracle.lookup(line, pc, source, tenant, now);
                 assert_eq!(
                     o, admitted,
                     "tap step {i}: oracle disagrees with the live decision on {ev:?}"
@@ -237,8 +238,9 @@ fn live_sim_filter_traffic_replays_into_the_oracle() {
                 line,
                 pc,
                 source,
+                tenant,
                 referenced,
-            } => oracle.evict(line, pc, source, referenced),
+            } => oracle.evict(line, pc, source, tenant, referenced),
             FilterTapEvent::DemandMiss { line, now } => oracle.demand_miss(line, now),
         }
     }
@@ -257,8 +259,11 @@ fn live_sim_filter_traffic_replays_into_the_oracle() {
 // Seed corpus (re)generation
 // ---------------------------------------------------------------------------
 
-/// The three hand-pinned seed cases. Kept as literals so the committed
-/// files and this source agree; `regenerate_seed_corpus` rewrites them.
+/// The hand-pinned seed cases. Kept as literals so the committed files and
+/// this source agree; `regenerate_seed_corpus` rewrites them. The two
+/// `attack-*` cases pin the hardened-filter guarantees of DESIGN.md §12:
+/// partition isolation under counter poisoning and keyed-hash de-aliasing
+/// under a collision flood.
 const SEED_CORPUS: &[(&str, &str)] = &[
     (
         "cache-pib-rib-eviction-feedback",
@@ -292,7 +297,7 @@ const SEED_CORPUS: &[(&str, &str)] = &[
         r#"# Two bad evictions drive the counter below threshold, the next lookup is
 # dropped and logged; a fresh demand miss recovers it, and a good eviction
 # restores admission.
-{"version":1,"kind":"filter","config":{"kind":"Pa","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false},"note":"drop decision, reject-log recovery, re-admission"}
+{"version":1,"kind":"filter","config":{"kind":"Pa","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false,"hash_salt":0,"tenant_partitions":1},"note":"drop decision, reject-log recovery, re-admission"}
 {"op":"evict","line":5,"pc":4096,"source":"Nsp","referenced":false}
 {"op":"evict","line":5,"pc":4096,"source":"Nsp","referenced":false}
 {"op":"lookup","line":5,"pc":4096,"source":"Nsp","now":50}
@@ -300,6 +305,37 @@ const SEED_CORPUS: &[(&str, &str)] = &[
 {"op":"lookup","line":5,"pc":4096,"source":"Nsp","now":200}
 {"op":"evict","line":5,"pc":4096,"source":"Nsp","referenced":true}
 {"op":"lookup","line":5,"pc":4096,"source":"Nsp","now":300}
+"#,
+    ),
+    (
+        "attack-poison-partition-isolation",
+        r#"# Counter-poisoning campaign against a partitioned (P=4) PA table: the
+# attacking tenant (1) saturates its counter for line 5 bad and locks
+# itself out, while the victim tenant (0) looking up the same line is
+# still admitted — the poisoning physically cannot reach the victim's
+# partition.
+{"version":1,"kind":"filter","config":{"kind":"Pa","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false,"hash_salt":0,"tenant_partitions":4},"note":"tenant 1 poisons its own partition; tenant 0 stays admitted"}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","tenant":1,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","tenant":1,"referenced":false}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","tenant":1,"now":10}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","tenant":0,"now":11}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","tenant":2,"now":12}
+"#,
+    ),
+    (
+        "attack-alias-flood-salted-hash",
+        r#"# Aliasing flood against the salted hash: lines 4295032837 and 8590065669
+# are crafted to XOR-fold onto the victim line 5's slot under the plain
+# hash (t | h<<16 | h<<32 folds to t), so an unhardened table would share
+# one counter across all three. Under the keyed fold they scatter to
+# distinct slots, and training the aliases bad leaves the victim admitted.
+{"version":1,"kind":"filter","config":{"kind":"Pa","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false,"hash_salt":6840346605343592461,"tenant_partitions":1},"note":"plain-hash collisions decorrelate under the keyed fold; victim line stays admitted"}
+{"op":"evict","line":4295032837,"pc":4096,"source":"Nsp","tenant":0,"referenced":false}
+{"op":"evict","line":4295032837,"pc":4096,"source":"Nsp","tenant":0,"referenced":false}
+{"op":"evict","line":8590065669,"pc":4096,"source":"Nsp","tenant":0,"referenced":false}
+{"op":"evict","line":8590065669,"pc":4096,"source":"Nsp","tenant":0,"referenced":false}
+{"op":"lookup","line":4295032837,"pc":4096,"source":"Nsp","tenant":0,"now":10}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","tenant":0,"now":11}
 "#,
     ),
 ];
