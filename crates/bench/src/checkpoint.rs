@@ -3,63 +3,44 @@
 //! Every completed cell's [`SimReport`] is written to
 //! `<dir>/<key>.json`, where `<key>` is an FNV-1a content hash of the
 //! cell's full identity — label, config JSON, workload, seed and
-//! instruction budgets. On restart the runner reloads every cell whose
-//! file exists and parses, and re-runs only the missing, corrupt or
-//! previously failed ones (failures are deliberately never checkpointed:
-//! a resume is exactly the retry the operator asked for). A config change
-//! produces different keys, so stale results can never leak into a new
-//! sweep.
+//! instruction budgets ([`cell_key`], shared with the grid scheduler). On
+//! restart the runner reloads every cell whose file exists and parses,
+//! and re-runs only the missing, corrupt or previously failed ones
+//! (failures are deliberately never checkpointed: a resume is exactly the
+//! retry the operator asked for). A config change produces different
+//! keys, so stale results can never leak into a new sweep.
 //!
 //! Writes stream from the worker threads as cells finish (write to a
 //! `.tmp` sibling, then rename), so a crash mid-sweep loses at most the
 //! cells still in flight.
+//!
+//! Each run also feeds observed per-cell wall-times back into a
+//! [`CostModel`] persisted *beside* the checkpoint directory (at
+//! `<dir>.timings.json` — a sibling, never inside `dir`, whose contents
+//! are exactly one file per completed cell). The next run loads it so the
+//! scheduler starts the longest cells first.
 
 use ppf_sim::experiments::{
-    fan_seeds, merge_seed_outcomes, run_grid_outcomes_observed, CellOutcome, RunSpec,
+    fan_seeds, merge_seed_outcomes, run_grid_outcomes_traced, CellOutcome, RunSpec,
 };
+pub use ppf_sim::schedule::cell_key;
+use ppf_sim::schedule::CostModel;
 use ppf_sim::SimReport;
 use ppf_types::{FromJson, PpfError, ToJson};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// FNV-1a 64-bit over `bytes`, continuing from `h`.
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// The checkpoint key of one cell: a content hash of (label, config JSON,
-/// workload, seed, instruction and warm-up budgets). Any change to any of
-/// these yields a different key, invalidating the old checkpoint entry.
-pub fn cell_key(spec: &RunSpec) -> String {
-    let mut h = FNV_OFFSET;
-    // Attack-free cells keep their pre-adversary keys (empty part), so
-    // existing checkpoint directories stay valid.
-    let adversary = spec.adversary.map(|a| a.describe()).unwrap_or_default();
-    for part in [
-        spec.label.as_str(),
-        &spec.config.to_json_string(),
-        spec.workload.name(),
-        &spec.seed.to_string(),
-        &spec.n_instructions.to_string(),
-        &spec.warmup.to_string(),
-        &adversary,
-    ] {
-        h = fnv1a(h, part.as_bytes());
-        // Field separator so ("ab","c") and ("a","bc") cannot collide.
-        h = fnv1a(h, &[0]);
-    }
-    format!("{h:016x}")
-}
-
 /// Path of a cell's checkpoint file under `dir`.
 pub fn cell_path(dir: &Path, spec: &RunSpec) -> PathBuf {
     dir.join(format!("{}.json", cell_key(spec)))
+}
+
+/// Where the cost model for checkpoint directory `dir` is persisted: a
+/// *sibling* file (`ckpt/fig6` → `ckpt/fig6.timings.json`). It must not
+/// live inside `dir`, whose contents are exactly one JSON file per
+/// completed cell.
+pub fn timings_path(dir: &Path) -> PathBuf {
+    dir.with_extension("timings.json")
 }
 
 /// The result of one checkpointed grid execution.
@@ -104,7 +85,9 @@ fn store_cell(path: &Path, report: &SimReport) -> Result<(), PpfError> {
 
 /// Run `specs` with per-cell checkpointing under `dir`: reload completed
 /// cells, execute the rest (streaming each completed cell to disk), and
-/// return outcomes in input order. Only directory creation fails hard;
+/// return outcomes in input order. Dispatch of the executed cells is
+/// ordered by the persisted cost model beside `dir`, which this run's
+/// observed wall-times then refresh. Only directory creation fails hard;
 /// unreadable entries are re-run and unwritable ones are reported in
 /// [`CheckpointedRun::write_errors`].
 pub fn run_grid_checkpointed(specs: Vec<RunSpec>, dir: &Path) -> Result<CheckpointedRun, PpfError> {
@@ -133,7 +116,9 @@ pub fn run_grid_checkpointed(specs: Vec<RunSpec>, dir: &Path) -> Result<Checkpoi
     let write_errors: Mutex<Vec<PpfError>> = Mutex::new(Vec::new());
     let (indices, to_run): (Vec<usize>, Vec<RunSpec>) = pending.into_iter().unzip();
     let paths: Vec<PathBuf> = to_run.iter().map(|s| cell_path(dir, s)).collect();
-    let ran = run_grid_outcomes_observed(to_run, |i, outcome| {
+    let mut model = CostModel::load(&timings_path(dir));
+    let insts: Vec<u64> = to_run.iter().map(|s| s.warmup + s.n_instructions).collect();
+    let (ran, trace) = run_grid_outcomes_traced(to_run, &model, |i, outcome| {
         if let CellOutcome::Ok(report) = outcome {
             if let Err(e) = store_cell(&paths[i], report) {
                 write_errors
@@ -143,6 +128,23 @@ pub fn run_grid_checkpointed(specs: Vec<RunSpec>, dir: &Path) -> Result<Checkpoi
             }
         }
     });
+    // Feed observed wall-times back into the persisted model (successful
+    // cells only; a failed cell's time measures the failure, not the
+    // work). Persistence is advisory: a write error is reported, never
+    // fatal.
+    for (i, outcome) in ran.iter().enumerate() {
+        if outcome.is_ok() && trace.cell_micros[i] > 0 {
+            model.record(&trace.keys[i], insts[i], trace.cell_micros[i]);
+        }
+    }
+    if executed > 0 {
+        if let Err(e) = model.save(&timings_path(dir)) {
+            write_errors
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(e);
+        }
+    }
     for (slot, outcome) in indices.into_iter().zip(ran) {
         outcomes[slot] = Some(outcome);
     }

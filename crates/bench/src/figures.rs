@@ -12,6 +12,9 @@
 
 use crate::checkpoint;
 use crate::memo;
+use crate::shard::{
+    ExperimentFragment, FragmentEntry, ManifestExperiment, ShardSpec, SHARD_SCHEMA_VERSION,
+};
 use ppf_sim::experiments::{self, CellOutcome, PORT_COUNTS, TABLE_SIZES};
 use ppf_sim::report::{f3, geomean, mean, pct, TextTable};
 use ppf_sim::{CellFailure, SimReport};
@@ -76,6 +79,10 @@ pub struct ExperimentOptions {
     /// of every grid (CI and tests only — exercises the partial-results
     /// path end to end through the binary).
     pub inject_fault: Option<u64>,
+    /// Sharded-sweep mode: run only the cells owned by this shard and emit
+    /// an [`ExperimentFragment`] (requires `json_dir`) instead of a full
+    /// [`ExperimentDoc`].
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ExperimentOptions {
@@ -86,6 +93,7 @@ impl Default for ExperimentOptions {
             checkpoint: None,
             telemetry: None,
             inject_fault: None,
+            shard: None,
         }
     }
 }
@@ -108,6 +116,10 @@ pub struct ExperimentOutput {
     /// Structured failures of the cells counted in `failed_cells` (the
     /// machine-readable form of the text appendix).
     pub failures: Vec<CellFailure>,
+    /// Sharded mode only: this experiment's coverage record, for the
+    /// caller to accumulate into the shard's `MANIFEST.json`. `None` when
+    /// unsharded or when the experiment has no grid (`table1`).
+    pub manifest: Option<ManifestExperiment>,
 }
 
 impl ExperimentOutput {
@@ -155,12 +167,15 @@ pub fn run_experiment_full(
             checkpoint: opts.checkpoint.clone(),
             telemetry: opts.telemetry.clone(),
             inject_fault: opts.inject_fault,
+            shard: opts.shard,
             counts: CellCounts::default(),
+            fragment: None,
         }
     });
     let dispatched: Result<(String, Vec<SimReport>, String), PpfError> = match name {
         "table1" => {
-            // Static table: no grid, no cells, nothing to checkpoint.
+            // Static table: no grid, no cells, nothing to checkpoint and
+            // nothing to shard (every shard prints it; none claims it).
             return Ok(ExperimentOutput {
                 body: table1(),
                 total_cells: 0,
@@ -168,6 +183,7 @@ pub fn run_experiment_full(
                 loaded_cells: 0,
                 executed_cells: 0,
                 failures: Vec::new(),
+                manifest: None,
             });
         }
         "table2" => run_and(name, experiments::table2(insts), table2),
@@ -250,22 +266,35 @@ pub fn run_experiment_full(
     };
     let (title, reports, body) = dispatched?;
     let counts = CTX.with(|c| c.borrow().counts.clone());
+    let fragment = CTX.with(|c| c.borrow_mut().fragment.take());
+    let mut manifest = None;
     if let Some(dir) = &opts.json_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| PpfError::io(e.to_string()).context(format!("creating json dir {dir}")))?;
-        let path = format!("{dir}/{title}.json");
-        // One self-describing document per experiment: reports of the
-        // surviving cells plus structured failures — so a partial run
-        // still dumps machine-parseable JSON instead of a bare array
-        // missing rows with no explanation.
-        let doc = ExperimentDoc {
-            experiment: title.clone(),
-            reports,
-            failures: counts.failures.clone(),
-        };
-        let json = ppf_types::ToJson::to_json_pretty(&doc);
-        std::fs::write(&path, json)
-            .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {path}")))?;
+        if let Some((frag, man)) = fragment {
+            // Sharded mode: this invocation owns only part of the grid, so
+            // it writes a self-describing fragment for `figures merge`
+            // instead of posing as the full experiment document.
+            let path = format!("{dir}/{title}.fragment.json");
+            let json = ppf_types::ToJson::to_json_pretty(&frag);
+            std::fs::write(&path, json)
+                .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {path}")))?;
+            manifest = Some(man);
+        } else {
+            let path = format!("{dir}/{title}.json");
+            // One self-describing document per experiment: reports of the
+            // surviving cells plus structured failures — so a partial run
+            // still dumps machine-parseable JSON instead of a bare array
+            // missing rows with no explanation.
+            let doc = ExperimentDoc {
+                experiment: title.clone(),
+                reports,
+                failures: counts.failures.clone(),
+            };
+            let json = ppf_types::ToJson::to_json_pretty(&doc);
+            std::fs::write(&path, json)
+                .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {path}")))?;
+        }
     }
     Ok(ExperimentOutput {
         body,
@@ -274,6 +303,7 @@ pub fn run_experiment_full(
         loaded_cells: counts.loaded,
         executed_cells: counts.executed,
         failures: counts.failures,
+        manifest,
     })
 }
 
@@ -314,7 +344,11 @@ struct RunContext {
     checkpoint: Option<PathBuf>,
     telemetry: Option<PathBuf>,
     inject_fault: Option<u64>,
+    shard: Option<ShardSpec>,
     counts: CellCounts,
+    /// Sharded mode: the fragment + manifest record the grid runner built
+    /// for the current experiment, consumed by `run_experiment_full`.
+    fragment: Option<(ExperimentFragment, ManifestExperiment)>,
 }
 
 thread_local! {
@@ -323,7 +357,9 @@ thread_local! {
         checkpoint: None,
         telemetry: None,
         inject_fault: None,
+        shard: None,
         counts: CellCounts::default(),
+        fragment: None,
     });
 }
 
@@ -336,13 +372,14 @@ fn run_and(
     mut grid: Vec<experiments::RunSpec>,
     format: impl Fn(&[SimReport]) -> String,
 ) -> Result<(String, Vec<SimReport>, String), PpfError> {
-    let (seeds, ckpt, telemetry, inject_fault) = CTX.with(|c| {
+    let (seeds, ckpt, telemetry, inject_fault, shard) = CTX.with(|c| {
         let c = c.borrow();
         (
             c.seeds,
             c.checkpoint.clone(),
             c.telemetry.clone(),
             c.inject_fault,
+            c.shard,
         )
     });
     if let Some(base) = &telemetry {
@@ -358,6 +395,9 @@ fn run_and(
         if let Some(first) = grid.first_mut() {
             first.fault = Some(FaultSpec::panic_at(at));
         }
+    }
+    if let Some(shard) = shard {
+        return run_shard(name, grid, seeds, ckpt, shard);
     }
     let total = grid.len();
     let (outcomes, loaded, executed) = match ckpt {
@@ -393,6 +433,92 @@ fn run_and(
     } else {
         partial_results(name, &outcomes)
     };
+    Ok((name.to_string(), reports, body))
+}
+
+/// The sharded form of [`run_and`]: run only the cells this shard owns
+/// (by content-hash key, so the partition is machine- and order-
+/// independent), record a fragment + manifest in the run context, and
+/// render a one-line coverage summary instead of the figure table — a
+/// shard holds an arbitrary subset of rows, which no figure formatter
+/// can typeset.
+fn run_shard(
+    name: &str,
+    grid: Vec<experiments::RunSpec>,
+    seeds: u32,
+    ckpt: Option<PathBuf>,
+    shard: ShardSpec,
+) -> Result<(String, Vec<SimReport>, String), PpfError> {
+    let full_total = grid.len() as u64;
+    let mut indices: Vec<u64> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    let mut selected: Vec<experiments::RunSpec> = Vec::new();
+    for (i, spec) in grid.into_iter().enumerate() {
+        let key = checkpoint::cell_key(&spec);
+        if shard.contains(&key) {
+            indices.push(i as u64);
+            keys.push(key);
+            selected.push(spec);
+        }
+    }
+    let owned = selected.len();
+    let (outcomes, loaded, executed) = match ckpt {
+        Some(dir) => {
+            let run = checkpoint::run_grid_seeds_checkpointed(selected, seeds, &dir.join(name))?;
+            for e in &run.write_errors {
+                eprintln!("warning: {e}");
+            }
+            (run.outcomes, run.loaded, run.executed)
+        }
+        None => {
+            let run = memo::run_grid_seeds_memoized(selected, seeds);
+            (run.outcomes, run.hits, run.executed)
+        }
+    };
+    let failed = outcomes.iter().filter(|o| !o.is_ok()).count();
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        c.counts.total += owned;
+        c.counts.failed += failed;
+        c.counts.loaded += loaded;
+        c.counts.executed += executed;
+        c.counts
+            .failures
+            .extend(outcomes.iter().filter_map(CellOutcome::failure).cloned());
+    });
+    let entries: Vec<FragmentEntry> = indices
+        .iter()
+        .zip(&keys)
+        .zip(&outcomes)
+        .map(|((&index, key), o)| FragmentEntry {
+            index,
+            key: key.clone(),
+            report: o.report().cloned(),
+            failure: o.failure().cloned(),
+        })
+        .collect();
+    let fragment = ExperimentFragment {
+        schema_version: SHARD_SCHEMA_VERSION,
+        experiment: name.to_string(),
+        shard_index: shard.index,
+        shard_count: shard.count,
+        total_cells: full_total,
+        entries,
+    };
+    let manifest = ManifestExperiment {
+        experiment: name.to_string(),
+        total_cells: full_total,
+        indices,
+        keys,
+    };
+    CTX.with(|c| c.borrow_mut().fragment = Some((fragment, manifest)));
+    let reports: Vec<SimReport> = outcomes
+        .iter()
+        .filter_map(|o| o.report().cloned())
+        .collect();
+    let body = header(&format!(
+        "{name}: shard {shard} — ran {owned}/{full_total} cells, {failed} failed"
+    ));
     Ok((name.to_string(), reports, body))
 }
 

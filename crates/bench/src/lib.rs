@@ -5,5 +5,6 @@
 pub mod checkpoint;
 pub mod figures;
 pub mod memo;
+pub mod shard;
 pub mod throughput;
 pub mod timeline;

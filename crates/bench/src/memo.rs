@@ -34,13 +34,22 @@ fn memo() -> &'static Mutex<HashMap<String, SimReport>> {
 /// (neither changes the report's bytes, but a faulted cell must always
 /// execute and a telemetry cell must always write its side-channel stream),
 /// so both run unconditionally.
+///
+/// The key is *label-independent*: the label is presentation (copied
+/// verbatim into the report and never fed back into the machine), so
+/// "no-filter" in one experiment and "none" in another hit the same entry
+/// when every machine-visible field matches — `figures all` re-runs the
+/// paper baseline under many names. A hit patches the caller's label onto
+/// the cached report.
 pub fn memo_key(spec: &RunSpec) -> Option<String> {
     if spec.fault.is_some() || spec.telemetry.is_some() {
         return None;
     }
+    let mut unlabeled = spec.clone();
+    unlabeled.label = String::new();
     Some(format!(
         "{}:{}:{}",
-        cell_key(spec),
+        cell_key(&unlabeled),
         spec.watchdog.max_cpi,
         spec.watchdog.stall_window
     ))
@@ -71,7 +80,11 @@ pub fn run_grid_memoized(specs: Vec<RunSpec>) -> MemoizedRun {
                 Some(key) => match table.get(&key) {
                     Some(report) => {
                         hits += 1;
-                        outcomes[idx] = Some(CellOutcome::Ok(Box::new(report.clone())));
+                        // The cached report carries the donor cell's label;
+                        // everything else is identical by key construction.
+                        let mut report = report.clone();
+                        report.label = spec.label.clone();
+                        outcomes[idx] = Some(CellOutcome::Ok(Box::new(report)));
                     }
                     None => pending.push((idx, spec, Some(key))),
                 },

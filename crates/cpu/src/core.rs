@@ -87,6 +87,7 @@ pub struct TickOutcome {
 }
 
 /// The out-of-order core.
+#[derive(Clone)]
 pub struct Core {
     cfg: CoreConfig,
     front: FrontEnd,

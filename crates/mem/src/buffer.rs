@@ -29,7 +29,7 @@ struct Slot {
 }
 
 /// Fully-associative LRU prefetch buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrefetchBuffer {
     slots: Vec<Slot>,
     cap: usize,

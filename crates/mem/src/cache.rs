@@ -150,7 +150,7 @@ impl TenantAttribution {
 }
 
 /// A set-associative cache with PIB/RIB line metadata.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     lines: Box<[Line]>,
     sets: usize,

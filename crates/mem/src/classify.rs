@@ -87,7 +87,7 @@ struct LruNode {
 /// doubly-linked recency list over a slab, giving O(1) touch/evict. The
 /// list head is the LRU entry, the tail the MRU; eviction order is exactly
 /// true-LRU, so the classification is deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ShadowLru {
     cap: usize,
     idx_of: HashMap<u64, u32, LineHashBuilder>,
@@ -168,7 +168,7 @@ impl ShadowLru {
 }
 
 /// Shadow structures for one cache level.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MissClassifier {
     seen: HashSet<u64, LineHashBuilder>,
     fa: ShadowLru,

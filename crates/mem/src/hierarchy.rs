@@ -84,7 +84,7 @@ pub struct PrefetchIssue {
 }
 
 /// Two-level hierarchy with bus, memory, MSHRs and optional prefetch buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Hierarchy {
     /// L1 data cache (public: the simulator and prefetchers probe it).
     pub l1: Cache,

@@ -21,7 +21,7 @@ pub enum PushOutcome {
 }
 
 /// Bounded FIFO of pending prefetches with duplicate squashing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrefetchQueue {
     q: VecDeque<PrefetchRequest>,
     cap: usize,

@@ -20,7 +20,7 @@ pub enum ReplacementPolicy {
 /// Per-cache replacement state: a monotone stamp source and an RNG for the
 /// random policy. Kept outside the policy enum so `ReplacementPolicy` stays
 /// `Copy` and configs stay comparable.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReplacementState {
     policy: ReplacementPolicy,
     next_stamp: u64,

@@ -26,7 +26,7 @@ struct Slot {
 }
 
 /// Fully-associative LRU victim cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VictimCache {
     slots: Vec<Slot>,
     cap: usize,

@@ -36,7 +36,7 @@ const INVALID: Entry = Entry {
 };
 
 /// Miss-correlation prefetcher.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CorrelationPrefetcher {
     entries: Box<[Entry]>,
     mask: u64,
@@ -103,6 +103,10 @@ impl CorrelationPrefetcher {
 }
 
 impl Prefetcher for CorrelationPrefetcher {
+    fn clone_box(&self) -> Option<Box<dyn Prefetcher>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "correlation"
     }

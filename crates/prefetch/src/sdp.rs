@@ -48,7 +48,7 @@ const INVALID: Entry = Entry {
 const PENDING_RING: usize = 64;
 
 /// The shadow-directory prefetcher.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShadowDirectoryPrefetcher {
     entries: Box<[Entry]>,
     mask: u64,
@@ -128,6 +128,10 @@ impl ShadowDirectoryPrefetcher {
 }
 
 impl Prefetcher for ShadowDirectoryPrefetcher {
+    fn clone_box(&self) -> Option<Box<dyn Prefetcher>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "sdp"
     }

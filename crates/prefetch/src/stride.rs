@@ -40,7 +40,7 @@ const INVALID: Entry = Entry {
 };
 
 /// PC-indexed reference prediction table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StridePrefetcher {
     entries: Box<[Entry]>,
     mask: u64,
@@ -85,6 +85,10 @@ impl StridePrefetcher {
 }
 
 impl Prefetcher for StridePrefetcher {
+    fn clone_box(&self) -> Option<Box<dyn Prefetcher>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "stride"
     }

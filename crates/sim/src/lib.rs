@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod schedule;
 pub mod simulator;
 
 pub use experiments::{
@@ -24,4 +25,5 @@ pub use experiments::{
     CellOutcome, RunSpec, TelemetrySpec,
 };
 pub use report::SimReport;
+pub use schedule::{cell_key, CostModel};
 pub use simulator::{FilterTapEvent, Simulator, WatchdogConfig};

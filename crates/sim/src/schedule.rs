@@ -1,0 +1,484 @@
+//! Work-stealing grid scheduler with a persisted cost model.
+//!
+//! The flat Mutex work queue the grid runner used through PR 7 dispatched
+//! cells in arbitrary order, so a 300-cell sweep regularly ended with one
+//! worker grinding through a slow straggler while the rest sat idle. This
+//! module replaces it with the classic deque scheme: each worker owns a
+//! double-ended queue, jobs are distributed cost-descending round-robin so
+//! the predicted-longest cells start first, a worker pops its own front,
+//! falls back to the shared injector, and finally steals from the *back*
+//! of a victim's deque (the cheap end — stolen work is the work the owner
+//! would reach last).
+//!
+//! Dispatch order is driven by [`CostModel`]: exact per-cell wall times
+//! recorded by previous runs (persisted as `TIMINGS.json` beside the
+//! checkpoint directory), falling back to a calibrated micros-per-
+//! instruction mean, falling back to a static config-feature heuristic.
+//! The cost model only affects *order*; results are position-addressed,
+//! so any schedule produces byte-identical output.
+//!
+//! Retries are re-enqueued at the back of the injector instead of being
+//! re-run inline on the same worker (the pre-PR-8 behaviour), so one
+//! poisoned cell cannot starve a worker's local deque.
+
+use crate::experiments::RunSpec;
+use ppf_types::{json_struct, FromJson, PpfError, ToJson};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit over `bytes`, continuing from `h`.
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis (the standard 64-bit seed).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The content-hash key of one cell: label, config JSON, workload, seed
+/// and instruction budgets. Any change to any of these yields a different
+/// key. The checkpoint layer uses it as the on-disk filename, the memo
+/// table and the cost model as lookup keys, and the shard partitioner as
+/// the stable identity a cell keeps across machines.
+pub fn cell_key(spec: &RunSpec) -> String {
+    let mut h = FNV_OFFSET;
+    // Attack-free cells keep their pre-adversary keys (empty part), so
+    // existing checkpoint directories stay valid.
+    let adversary = spec.adversary.map(|a| a.describe()).unwrap_or_default();
+    for part in [
+        spec.label.as_str(),
+        &spec.config.to_json_string(),
+        spec.workload.name(),
+        &spec.seed.to_string(),
+        &spec.n_instructions.to_string(),
+        &spec.warmup.to_string(),
+        &adversary,
+    ] {
+        h = fnv1a(h, part.as_bytes());
+        // Field separator so ("ab","c") and ("a","bc") cannot collide.
+        h = fnv1a(h, &[0]);
+    }
+    format!("{h:016x}")
+}
+
+/// Schema version of the persisted cost model. A bump discards old files
+/// (predictions are advisory, so silently starting cold is correct).
+const COST_MODEL_VERSION: u64 = 1;
+
+/// One recorded cell wall-time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEntry {
+    /// The cell's content-hash key ([`cell_key`]).
+    pub key: String,
+    /// Total instructions the cell executed (warm-up + measured).
+    pub insts: u64,
+    /// Recorded wall time in microseconds.
+    pub micros: u64,
+}
+
+json_struct!(CostEntry { key, insts, micros });
+
+/// The persisted form of a [`CostModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModelDoc {
+    /// Schema version ([`CostModelDoc`] files with another version are
+    /// ignored).
+    pub version: u64,
+    /// Recorded cell wall-times.
+    pub entries: Vec<CostEntry>,
+}
+
+json_struct!(CostModelDoc { version, entries });
+
+/// Predicted-cost oracle for grid cells: exact recorded wall times by cell
+/// key, with a calibrated micros-per-instruction fallback for cells never
+/// seen before, and a pure config-feature heuristic when no history exists
+/// at all. Predictions only order dispatch; they never change results.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    exact: HashMap<String, u64>,
+    total_micros: u64,
+    total_insts: u64,
+}
+
+impl CostModel {
+    /// An empty model (heuristic-only predictions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of exact per-cell observations.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Record one observed cell wall-time (replacing any previous
+    /// observation for the same key).
+    pub fn record(&mut self, key: &str, insts: u64, micros: u64) {
+        if self.exact.insert(key.to_string(), micros).is_none() {
+            self.total_micros = self.total_micros.saturating_add(micros);
+            self.total_insts = self.total_insts.saturating_add(insts);
+        }
+    }
+
+    /// Predicted cost (microseconds-shaped, but only the *ordering*
+    /// matters) of a cell with key `key` running `insts` instructions on a
+    /// configuration of relative weight `weight` (100 = baseline; see
+    /// `experiments::spec_cost`).
+    pub fn predict(&self, key: &str, insts: u64, weight: u64) -> u64 {
+        if let Some(&micros) = self.exact.get(key) {
+            return micros;
+        }
+        if self.total_insts > 0 {
+            let per_inst_scaled = self.total_micros.saturating_mul(weight);
+            return insts
+                .saturating_mul(per_inst_scaled / self.total_insts.max(1) / 100)
+                .max(1);
+        }
+        insts.saturating_mul(weight) / 100
+    }
+
+    /// The persistable document form.
+    pub fn to_doc(&self) -> CostModelDoc {
+        let mut entries: Vec<CostEntry> = self
+            .exact
+            .iter()
+            .map(|(key, &micros)| CostEntry {
+                key: key.clone(),
+                // Per-key instruction counts are not kept (only the totals
+                // matter for the fallback rate), so entries carry the mean.
+                insts: self.total_insts / self.exact.len().max(1) as u64,
+                micros,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        CostModelDoc {
+            version: COST_MODEL_VERSION,
+            entries,
+        }
+    }
+
+    /// Rebuild a model from its document form. Version skew yields an
+    /// empty model: cost history is advisory, never load-bearing.
+    pub fn from_doc(doc: &CostModelDoc) -> Self {
+        let mut model = CostModel::new();
+        if doc.version != COST_MODEL_VERSION {
+            return model;
+        }
+        for e in &doc.entries {
+            model.record(&e.key, e.insts, e.micros);
+        }
+        model
+    }
+
+    /// Load a model persisted by [`CostModel::save`]. A missing or
+    /// unparseable file yields an empty model (never an error — the model
+    /// is an ordering hint, not state).
+    pub fn load(path: &Path) -> Self {
+        match std::fs::read_to_string(path) {
+            Ok(text) => CostModelDoc::from_json_str(&text)
+                .map(|doc| Self::from_doc(&doc))
+                .unwrap_or_default(),
+            Err(_) => CostModel::new(),
+        }
+    }
+
+    /// Persist the model atomically (tmp + rename).
+    pub fn save(&self, path: &Path) -> Result<(), PpfError> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_doc().to_json_pretty())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| PpfError::io(e.to_string()).context(format!("writing {}", path.display())))
+    }
+}
+
+/// The result of one scheduled job execution attempt.
+#[derive(Debug)]
+pub enum Attempt<R> {
+    /// The job finished (successfully or with a terminal failure); `R` is
+    /// its result.
+    Done(R),
+    /// The attempt failed and the job should be re-enqueued at the back of
+    /// the scheduler with an incremented attempt counter.
+    Retry,
+}
+
+/// Execution trace of one scheduled run, for tests and telemetry.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Job indices in the order execution *started* (a retried job appears
+    /// once per attempt).
+    pub start_order: Vec<usize>,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Retry re-enqueues.
+    pub retries: u64,
+    /// Wall time of each job's final attempt, in microseconds.
+    pub cell_micros: Vec<u64>,
+}
+
+/// One schedulable unit: a job index plus its 0-based attempt counter.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    job: usize,
+    attempt: u32,
+}
+
+/// Run `n` jobs over `workers` threads with work stealing. `costs[i]` is
+/// job `i`'s predicted cost (ordering only); `exec(job, attempt)` runs one
+/// attempt and decides completion vs retry. Results are returned in job
+/// order regardless of schedule. `exec` must eventually return
+/// [`Attempt::Done`] for every job (the grid runner bounds attempts
+/// itself).
+pub fn run_scheduled<R, F>(n: usize, workers: usize, costs: &[u64], exec: F) -> (Vec<R>, Trace)
+where
+    R: Send,
+    F: Fn(usize, u32) -> Attempt<R> + Sync,
+{
+    assert_eq!(costs.len(), n, "one cost per job");
+    let workers = workers.clamp(1, n.max(1));
+    if n == 0 {
+        return (Vec::new(), Trace::default());
+    }
+
+    // Cost-descending dispatch order (stable: equal costs keep input
+    // order), dealt round-robin so every worker starts with its share of
+    // the heavy cells at the *front* of its deque.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+    let deques: Vec<Mutex<VecDeque<Task>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (pos, &job) in order.iter().enumerate() {
+        lock(&deques[pos % workers]).push_back(Task { job, attempt: 0 });
+    }
+
+    // Retries land at the back of the shared injector: every worker drains
+    // it after its own deque, so a flaky job migrates away from the worker
+    // (and the local queue) it poisoned.
+    let injector: Mutex<VecDeque<Task>> = Mutex::new(VecDeque::new());
+    // Jobs not yet Done. Workers may only exit when this reaches zero:
+    // an empty queue is not termination while a peer still runs a job
+    // that might Retry into the injector.
+    let outstanding = AtomicUsize::new(n);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let start_order: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(n));
+    let cell_micros: Mutex<Vec<u64>> = Mutex::new(vec![0; n]);
+    let steals = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+
+    let worker_loop = |me: usize| loop {
+        let task = lock(&deques[me])
+            .pop_front()
+            .or_else(|| lock(&injector).pop_front())
+            .or_else(|| {
+                // Steal from the back of the first non-empty victim,
+                // scanning ring-wise so contention spreads out.
+                for off in 1..workers {
+                    let victim = (me + off) % workers;
+                    if let Some(t) = lock(&deques[victim]).pop_back() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                }
+                None
+            });
+        let Some(task) = task else {
+            if outstanding.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        lock(&start_order).push(task.job);
+        let t0 = std::time::Instant::now();
+        match exec(task.job, task.attempt) {
+            Attempt::Done(r) => {
+                let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                lock(&cell_micros)[task.job] = micros;
+                lock(&results)[task.job] = Some(r);
+                outstanding.fetch_sub(1, Ordering::Release);
+            }
+            Attempt::Retry => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                lock(&injector).push_back(Task {
+                    job: task.job,
+                    attempt: task.attempt + 1,
+                });
+            }
+        }
+    };
+
+    if workers == 1 {
+        worker_loop(0);
+    } else {
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                scope.spawn(move || worker_loop(me));
+            }
+        });
+    }
+
+    let results = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect();
+    let trace = Trace {
+        start_order: start_order
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+        steals: steals.into_inner(),
+        retries: retries.into_inner(),
+        cell_micros: cell_micros
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    };
+    (results, trace)
+}
+
+/// Lock a mutex, recovering from poisoning (worker panics are contained
+/// upstream by `catch_unwind`; a stray poison must not cascade).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn single_worker_starts_costliest_first() {
+        let costs = [1u64, 9, 5, 7];
+        let (results, trace) = run_scheduled(4, 1, &costs, |job, _| Attempt::Done(job));
+        assert_eq!(results, vec![0, 1, 2, 3], "results stay in job order");
+        assert_eq!(trace.start_order, vec![1, 3, 2, 0], "dispatch is cost-desc");
+        assert_eq!(trace.steals, 0);
+        assert_eq!(trace.retries, 0);
+        assert_eq!(trace.cell_micros.len(), 4);
+    }
+
+    #[test]
+    fn uniform_costs_keep_fifo_order() {
+        // The FIFO baseline the cost model improves on: with no cost
+        // signal the sort is stable, so dispatch degenerates to input
+        // order — and with a skewed grid (see above) it provably does not.
+        let costs = [3u64; 5];
+        let (_, trace) = run_scheduled(5, 1, &costs, |job, _| Attempt::Done(job));
+        assert_eq!(trace.start_order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn retry_re_enqueues_at_the_back() {
+        // Job 0 fails its first attempt. The retry must go to the back of
+        // the scheduler (injector), NOT re-run inline: with one worker the
+        // observable order is 0,1,2,0 — the old inline-retry runner would
+        // produce 0,0,1,2.
+        let costs = [1u64; 3];
+        let (results, trace) = run_scheduled(3, 1, &costs, |job, attempt| {
+            if job == 0 && attempt == 0 {
+                Attempt::Retry
+            } else {
+                Attempt::Done((job, attempt))
+            }
+        });
+        assert_eq!(trace.start_order, vec![0, 1, 2, 0]);
+        assert_eq!(trace.retries, 1);
+        assert_eq!(results, vec![(0, 1), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn skewed_costs_trigger_stealing() {
+        // Worker 0 gets the one heavy job first (cost-desc round-robin);
+        // worker 1 finishes its light share and must steal the rest of
+        // worker 0's deque for the run to finish promptly.
+        let costs = [1000u64, 1, 1, 1, 1, 1];
+        let heavy_done = AtomicU32::new(0);
+        let (results, trace) = run_scheduled(6, 2, &costs, |job, _| {
+            if job == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                heavy_done.store(1, Ordering::SeqCst);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Attempt::Done(job)
+        });
+        assert_eq!(results, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(trace.start_order.len(), 6);
+        assert!(
+            trace.steals >= 1,
+            "light worker must steal from the heavy one ({} steals)",
+            trace.steals
+        );
+    }
+
+    #[test]
+    fn zero_jobs_and_worker_clamp() {
+        let (results, trace) = run_scheduled::<usize, _>(0, 8, &[], |_, _| unreachable!());
+        assert!(results.is_empty());
+        assert!(trace.start_order.is_empty());
+        // More workers than jobs is clamped (no idle spawn storm).
+        let (r, _) = run_scheduled(2, 64, &[1, 1], |job, _| Attempt::Done(job));
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn cost_model_prediction_tiers() {
+        let mut m = CostModel::new();
+        assert!(m.is_empty());
+        // Heuristic tier: pure insts × weight.
+        assert_eq!(m.predict("k0", 1000, 100), 1000);
+        assert_eq!(m.predict("k0", 1000, 140), 1400);
+        // Calibrated tier: 2 micros/inst mean from one observation.
+        m.record("k1", 1000, 2000);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.predict("k2", 500, 100), 1000);
+        // Exact tier beats both.
+        assert_eq!(m.predict("k1", 500, 100), 2000);
+        // Re-recording a key replaces, not double-counts.
+        m.record("k1", 1000, 4000);
+        assert_eq!(m.predict("k1", 1, 100), 4000);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn cost_model_persistence_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ppf-costmodel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("TIMINGS.json");
+        let mut m = CostModel::new();
+        m.record("aaaa", 10_000, 123_456);
+        m.record("bbbb", 20_000, 654_321);
+        m.save(&path).unwrap();
+        let back = CostModel::load(&path);
+        assert_eq!(back.len(), 2);
+        for key in ["aaaa", "bbbb"] {
+            assert_eq!(back.predict(key, 1, 100), m.predict(key, 1, 100));
+        }
+        // Calibrated fallback survives the round trip (totals rebuilt).
+        assert_eq!(back.predict("cccc", 100, 100), m.predict("cccc", 100, 100));
+        // Version skew loads as empty, not as an error.
+        let doc = CostModelDoc {
+            version: COST_MODEL_VERSION + 1,
+            entries: m.to_doc().entries,
+        };
+        std::fs::write(&path, doc.to_json_pretty()).unwrap();
+        assert!(CostModel::load(&path).is_empty());
+        // Missing and corrupt files load as empty too.
+        assert!(CostModel::load(&dir.join("absent.json")).is_empty());
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(CostModel::load(&path).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

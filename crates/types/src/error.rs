@@ -35,6 +35,9 @@ pub enum PpfErrorKind {
     TraceEncoding,
     /// An operating-system I/O failure (checkpoint directory, report dump).
     Io,
+    /// Sharded-sweep fragments or manifests that cannot be merged: schema
+    /// version skew, mismatched sweep parameters, or overlapping coverage.
+    ShardMismatch,
 }
 
 impl PpfErrorKind {
@@ -49,6 +52,7 @@ impl PpfErrorKind {
             PpfErrorKind::CheckpointCorrupt => "checkpoint-corrupt",
             PpfErrorKind::TraceEncoding => "trace-encoding",
             PpfErrorKind::Io => "io",
+            PpfErrorKind::ShardMismatch => "shard-mismatch",
         }
     }
 }
@@ -62,6 +66,7 @@ json_unit_enum!(PpfErrorKind {
     CheckpointCorrupt,
     TraceEncoding,
     Io,
+    ShardMismatch,
 });
 
 /// A structured error: taxonomy kind, root-cause message, and a context
@@ -124,6 +129,11 @@ impl PpfError {
     /// Convenience constructor for [`PpfErrorKind::Io`].
     pub fn io(message: impl Into<String>) -> Self {
         Self::new(PpfErrorKind::Io, message)
+    }
+
+    /// Convenience constructor for [`PpfErrorKind::ShardMismatch`].
+    pub fn shard_mismatch(message: impl Into<String>) -> Self {
+        Self::new(PpfErrorKind::ShardMismatch, message)
     }
 
     /// Append a context frame (outer layers call this as the error
@@ -192,6 +202,7 @@ mod tests {
             "checkpoint-corrupt"
         );
         assert_eq!(PpfErrorKind::TraceEncoding.label(), "trace-encoding");
+        assert_eq!(PpfErrorKind::ShardMismatch.label(), "shard-mismatch");
     }
 
     #[test]
