@@ -1,7 +1,7 @@
 //! `bench` — simulator performance measurement and time-series inspection.
 //!
 //! ```text
-//! bench throughput [--quick] [--out PATH] [--no-write]
+//! bench throughput [--quick] [--trials N] [--out PATH] [--no-write]
 //!                  [--baseline PATH] [--max-regress PCT]
 //! bench timeline [WORKLOAD] [--filter PA|PC|hybrid|none] [--insts N]
 //!                [--interval CYCLES] [--seed S] [--json]
@@ -10,7 +10,9 @@
 //! `throughput` runs the pinned-seed workload mix through every model layer
 //! (core / +mem / +prefetch / +filter), prints a per-layer MIPS table and
 //! writes `BENCH_<rev>.json` (override with `--out`, suppress with
-//! `--no-write`). With `--baseline` the run is also diffed against a
+//! `--no-write`). Each layer is timed `--trials` times (default 3) and the
+//! fastest pass reported, so one preempted scheduler slice cannot masquerade
+//! as a simulator regression. With `--baseline` the run is also diffed against a
 //! committed `BENCH_*.json`; the delta table prints either way and the
 //! exit code is 3 when any layer's MIPS regressed more than
 //! `--max-regress` percent (default 20).
@@ -36,7 +38,7 @@ use ppf_workloads::{AdversarySpec, AttackKind, Workload};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bench throughput [--quick] [--out PATH] [--no-write]\n\
+const USAGE: &str = "usage: bench throughput [--quick] [--trials N] [--out PATH] [--no-write]\n\
      \x20                       [--baseline PATH] [--max-regress PCT]\n\
      \x20      bench timeline [WORKLOAD] [--filter PA|PC|hybrid|none] [--insts N]\n\
      \x20                     [--interval CYCLES] [--seed S] [--json]\n\
@@ -217,8 +219,22 @@ fn main() -> ExitCode {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => settings = throughput::BenchSettings::quick(),
+            "--quick" => {
+                let trials = settings.trials;
+                settings = throughput::BenchSettings::quick();
+                settings.trials = trials;
+            }
             "--no-write" => write = false,
+            "--trials" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => settings.trials = n,
+                    _ => {
+                        eprintln!("--trials needs a positive count\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--out" => {
                 i += 1;
                 match args.get(i) {

@@ -44,6 +44,7 @@ fn sample_report() -> BenchReport {
         quick: true,
         seed: 42,
         insts_per_cell: 150_000,
+        trials: 3,
         workloads: vec!["mcf-like".into(), "stream-like".into()],
         layers: vec![LayerStat {
             name: "core".into(),

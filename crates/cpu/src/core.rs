@@ -20,7 +20,6 @@
 use crate::branch::FrontEnd;
 use crate::inst::{InstStream, Op};
 use ppf_types::{Addr, CoreConfig, Cycle, Pc, SimStats};
-use std::collections::VecDeque;
 
 /// The core's window into the memory hierarchy (implemented by `ppf-sim`).
 pub trait MemoryPort {
@@ -82,8 +81,130 @@ struct RobEntry {
 pub struct TickOutcome {
     /// Instructions retired this cycle.
     pub retired: u64,
+    /// Instructions issued (Waiting → Done) this cycle.
+    pub issued: u64,
     /// Memory ops that failed port arbitration this cycle.
     pub port_rejections: u64,
+    /// Fetch changed machine state this cycle: it dispatched, consumed the
+    /// stream, or probed the I-cache (which advances hierarchy state).
+    pub fetch_changed: bool,
+}
+
+impl TickOutcome {
+    /// True when the tick provably changed nothing — no retirement, no
+    /// issue, no port traffic (denied ports bump memory-side counters),
+    /// no fetch-side state change. A quiescent tick is a pure function of
+    /// the cycle number, which is what licenses the skip-ahead kernel to
+    /// jump over the identical ticks that would follow.
+    pub fn quiescent(&self) -> bool {
+        self.retired == 0 && self.issued == 0 && self.port_rejections == 0 && !self.fetch_changed
+    }
+}
+
+/// Fixed-capacity power-of-two ring backing the ROB — the ShadowLru slab
+/// pattern applied to the pipeline window. The issue/wake-up scans index
+/// entries randomly every cycle; a mask-indexed flat slab keeps those scans
+/// free of the wrap branch `VecDeque` pays per access.
+///
+/// `gate` is a parallel hot array the per-cycle issue scan walks instead of
+/// the 72-byte entries: one word per slot holding `u64::MAX` for a slot that
+/// cannot issue (Done, or dead) and otherwise the entry's cached issue
+/// wake-up bound — a sound lower bound on the first cycle the Waiting entry
+/// could possibly issue (0 = unknown, try now). The bound is derived from
+/// the producer's fixed `done_at` (exact) or, while the producer itself is
+/// still Waiting, from the earliest cycle the producer could issue plus its
+/// minimum latency (conservative). Purely an optimization: it changes how
+/// fast the scan skips an entry, never *when* the entry issues.
+#[derive(Clone)]
+struct RobRing {
+    buf: Box<[RobEntry]>,
+    gate: Box<[u64]>,
+    mask: usize,
+    head: usize,
+    len: usize,
+}
+
+impl RobRing {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1).next_power_of_two();
+        let empty = RobEntry {
+            seq: 0,
+            pc: 0,
+            op: Op::IntAlu,
+            dep_seq: None,
+            stage: Stage::Done,
+            done_at: 0,
+            is_mem: false,
+            blocks_fetch: false,
+        };
+        RobRing {
+            buf: vec![empty; cap].into_boxed_slice(),
+            gate: vec![u64::MAX; cap].into_boxed_slice(),
+            mask: cap - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// The issue-gate word for logical entry `i` (see the type docs).
+    #[inline]
+    fn gate(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.gate[(self.head + i) & self.mask]
+    }
+
+    #[inline]
+    fn set_gate(&mut self, i: usize, g: u64) {
+        debug_assert!(i < self.len);
+        self.gate[(self.head + i) & self.mask] = g;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<&RobEntry> {
+        (i < self.len).then(|| &self.buf[(self.head + i) & self.mask])
+    }
+
+    /// Copy out entry `i` (entries are small and `Copy`; the issue loop
+    /// reads the entry and only re-borrows mutably on a state change).
+    #[inline]
+    fn at(&self, i: usize) -> RobEntry {
+        debug_assert!(i < self.len);
+        self.buf[(self.head + i) & self.mask]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, i: usize) -> &mut RobEntry {
+        debug_assert!(i < self.len);
+        &mut self.buf[(self.head + i) & self.mask]
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    /// Append a (Waiting) entry; its gate starts at 0 ("try now").
+    #[inline]
+    fn push_back(&mut self, e: RobEntry) {
+        debug_assert!(self.len <= self.mask, "logical capacity exceeded");
+        debug_assert!(e.stage == Stage::Waiting);
+        let slot = (self.head + self.len) & self.mask;
+        self.buf[slot] = e;
+        self.gate[slot] = 0;
+        self.len += 1;
+    }
 }
 
 /// The out-of-order core.
@@ -91,7 +212,18 @@ pub struct TickOutcome {
 pub struct Core {
     cfg: CoreConfig,
     front: FrontEnd,
-    rob: VecDeque<RobEntry>,
+    rob: RobRing,
+    /// Entries currently in [`Stage::Waiting`] — lets the issue scan stop
+    /// as soon as every waiting entry has been visited instead of walking
+    /// the (mostly-Done) tail of a stalled window.
+    waiting: usize,
+    /// Earliest cycle any waiting entry could possibly issue. When a full
+    /// scan proves every waiting entry is bounded past `now` (their cached
+    /// `ready_at` wake-ups), the scans until this cycle are skipped
+    /// entirely — the dominant cost while the window drains a long miss.
+    /// Conservative: any unbounded outcome (slot or port pressure, a new
+    /// dispatch) resets it to "scan next cycle".
+    issue_scan_at: Cycle,
     next_seq: u64,
     lsq_used: usize,
     /// Fetch is stalled until this cycle (mispredict redirect).
@@ -109,8 +241,10 @@ impl Core {
     pub fn new(cfg: &CoreConfig) -> Self {
         Core {
             front: FrontEnd::new(&cfg.branch),
+            rob: RobRing::with_capacity(cfg.rob_entries),
+            waiting: 0,
+            issue_scan_at: 0,
             cfg: cfg.clone(),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
             next_seq: 0,
             lsq_used: 0,
             fetch_resume_at: 0,
@@ -129,19 +263,44 @@ impl Core {
         self.lsq_used
     }
 
-    /// Is the producer with sequence number `seq` complete by `now`?
-    fn producer_ready(&self, seq: u64, now: Cycle) -> bool {
+    /// If producer `seq`'s result is not ready at `now`, the earliest cycle
+    /// its consumer could possibly issue — a sound lower bound the issue
+    /// scan caches in the consumer's `ready_at`. `None` when the producer
+    /// is ready (retired, absent, or complete by `now`).
+    fn producer_gate(&self, seq: u64, now: Cycle) -> Option<Cycle> {
         let front_seq = match self.rob.front() {
             Some(e) => e.seq,
-            None => return true, // empty ROB: everything older has retired
+            None => return None, // empty ROB: everything older has retired
         };
         if seq < front_seq {
-            return true; // already retired
+            return None; // already retired
         }
         let idx = (seq - front_seq) as usize;
-        match self.rob.get(idx) {
-            Some(e) => e.stage != Stage::Waiting && e.done_at <= now,
-            None => true,
+        let p = self.rob.get(idx)?;
+        match p.stage {
+            Stage::Waiting => {
+                // Producers precede consumers in the window, so this
+                // producer was already covered by the current scan and
+                // stayed Waiting: it issues no earlier than next cycle
+                // (or its own cached bound) and completes no earlier
+                // than that plus its op's minimum latency.
+                let issue_at = (now + 1).max(self.rob.gate(idx));
+                Some(issue_at.saturating_add(self.min_latency(p.op)))
+            }
+            Stage::Done if p.done_at > now => Some(p.done_at),
+            Stage::Done => None,
+        }
+    }
+
+    /// The smallest completion latency `op` can possibly have — used only
+    /// for the conservative wake-up bound above. Memory timing lives below
+    /// the core, so memory ops assume results could be ready the same
+    /// cycle the access starts.
+    fn min_latency(&self, op: Op) -> u64 {
+        match op {
+            Op::IntAlu | Op::Branch { .. } => self.cfg.int_latency,
+            Op::FpAlu => self.cfg.fp_latency,
+            Op::Load { .. } | Op::Store { .. } | Op::SoftPrefetch { .. } => 0,
         }
     }
 
@@ -169,29 +328,61 @@ impl Core {
         retired
     }
 
-    fn issue(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> u64 {
+    fn issue(&mut self, now: Cycle, mem: &mut dyn MemoryPort) -> (u64, u64) {
+        if self.waiting == 0 || now < self.issue_scan_at {
+            // Every waiting entry is provably gated past `now` — the last
+            // full scan bounded each one, so this cycle's scan would visit
+            // them all and issue nothing.
+            return (0, 0);
+        }
         let mut issued = 0usize;
         let mut int_slots = self.cfg.int_alus;
         let mut fp_slots = self.cfg.fp_alus;
         let mut rejections = 0u64;
         let mut resolved_block: Option<u64> = None;
+        // Waiting entries present when the scan starts; once they have all
+        // been visited the (Done) tail of the window cannot issue anything.
+        let waiting_at_start = self.waiting;
+        let mut waiting_seen = 0usize;
+        // If the scan leaves a wake-up bound on every entry still Waiting
+        // when it ends, their minimum becomes the next scan cycle; any
+        // unbounded outcome (slot or port pressure, an unvisited tail)
+        // forces a re-scan next cycle.
+        let mut all_bounded = true;
+        let mut min_bound = Cycle::MAX;
 
         for i in 0..self.rob.len() {
-            if issued >= self.cfg.issue_width {
+            if waiting_seen == waiting_at_start {
                 break;
             }
-            let entry = self.rob[i];
-            if entry.stage != Stage::Waiting {
+            if issued >= self.cfg.issue_width {
+                all_bounded = false; // unvisited waiting entries may be ready
+                break;
+            }
+            let g = self.rob.gate(i);
+            if g == u64::MAX {
+                continue; // cannot issue (Done)
+            }
+            waiting_seen += 1;
+            if g > now {
+                // Producer provably not ready yet (cached bound).
+                min_bound = min_bound.min(g);
                 continue;
             }
+            let entry = self.rob.at(i);
             if let Some(dep) = entry.dep_seq {
-                if !self.producer_ready(dep, now) {
+                if let Some(bound) = self.producer_gate(dep, now) {
+                    // Remember the earliest possible issue cycle so the
+                    // scans until then skip this entry with one compare.
+                    self.rob.set_gate(i, bound);
+                    min_bound = min_bound.min(bound);
                     continue;
                 }
             }
             let done_at = match entry.op {
                 Op::IntAlu => {
                     if int_slots == 0 {
+                        all_bounded = false;
                         continue;
                     }
                     int_slots -= 1;
@@ -199,6 +390,7 @@ impl Core {
                 }
                 Op::FpAlu => {
                     if fp_slots == 0 {
+                        all_bounded = false;
                         continue;
                     }
                     fp_slots -= 1;
@@ -206,6 +398,7 @@ impl Core {
                 }
                 Op::Branch { .. } => {
                     if int_slots == 0 {
+                        all_bounded = false;
                         continue;
                     }
                     int_slots -= 1;
@@ -222,6 +415,7 @@ impl Core {
                         Some(ready) => ready,
                         None => {
                             rejections += 1;
+                            all_bounded = false;
                             continue; // structural hazard: retry next cycle
                         }
                     }
@@ -231,9 +425,11 @@ impl Core {
                     now + 1
                 }
             };
-            let e = &mut self.rob[i];
+            let e = self.rob.at_mut(i);
             e.stage = Stage::Done;
             e.done_at = done_at;
+            self.rob.set_gate(i, u64::MAX);
+            self.waiting -= 1;
             issued += 1;
         }
         if let Some(seq) = resolved_block {
@@ -241,7 +437,8 @@ impl Core {
                 self.fetch_blocked_on = None;
             }
         }
-        rejections
+        self.issue_scan_at = if all_bounded { min_bound } else { now + 1 };
+        (issued as u64, rejections)
     }
 
     fn fetch(
@@ -250,25 +447,34 @@ impl Core {
         stream: &mut dyn InstStream,
         mem: &mut dyn MemoryPort,
         stats: &mut SimStats,
-    ) {
+    ) -> bool {
         if self.fetch_blocked_on.is_some() || now < self.fetch_resume_at {
-            return;
+            return false;
         }
+        let mut changed = false;
         for _ in 0..self.cfg.fetch_width {
             if self.rob.len() >= self.cfg.rob_entries {
                 break;
             }
             let inst = match self.pending.take() {
                 Some(i) => i,
-                None => stream.next_inst(),
+                None => {
+                    changed = true; // the stream advanced
+                    stream.next_inst()
+                }
             };
             if inst.op.is_mem() && self.lsq_used >= self.cfg.lsq_entries {
                 // LSQ full: hold the instruction and stall fetch this cycle.
+                // A held instruction going back where it came from is the
+                // one early exit that leaves the machine untouched.
                 self.pending = Some(inst);
                 break;
             }
             // Instruction-side access: an I-cache miss stalls fetch until
-            // the line arrives from the unified L2 (or memory).
+            // the line arrives from the unified L2 (or memory). The probe
+            // itself advances hierarchy state, so from here on the cycle
+            // counts as active whether or not the instruction dispatches.
+            changed = true;
             let bytes_at = mem.fetch_access(inst.pc, now);
             if bytes_at > now {
                 self.pending = Some(inst);
@@ -303,11 +509,16 @@ impl Core {
                 is_mem: inst.op.is_mem(),
                 blocks_fetch,
             });
+            self.waiting += 1;
+            // The new entry may be issue-ready immediately (issue runs
+            // before fetch within a tick, so "immediately" is next cycle).
+            self.issue_scan_at = self.issue_scan_at.min(now + 1);
             if blocks_fetch {
                 self.fetch_blocked_on = Some(seq);
                 break; // wrong-path fetch is not modelled
             }
         }
+        changed
     }
 
     /// Advance the core by one cycle.
@@ -319,12 +530,66 @@ impl Core {
         stats: &mut SimStats,
     ) -> TickOutcome {
         let retired = self.retire(now, stats);
-        let port_rejections = self.issue(now, mem);
-        self.fetch(now, stream, mem, stats);
+        let (issued, port_rejections) = self.issue(now, mem);
+        let fetch_changed = self.fetch(now, stream, mem, stats);
         TickOutcome {
             retired,
+            issued,
             port_rejections,
+            fetch_changed,
         }
+    }
+
+    /// The next cycle at which this core can possibly act, given that the
+    /// current tick was quiescent ([`TickOutcome::quiescent`]) — the core's
+    /// entry in the skip-ahead kernel's event calendar. Every cycle strictly
+    /// between `now` and the returned cycle is provably another quiescent
+    /// tick, so the kernel may jump straight to it.
+    ///
+    /// The calendar has three sources:
+    ///
+    /// * **Retire** — the ROB head completes at its `done_at`.
+    /// * **Issue wake-up** — `issue_scan_at`, the issue scan's own gate: a
+    ///   sound lower bound on the first cycle any waiting entry could
+    ///   issue, kept current by every full scan. A quiescent tick cannot
+    ///   move it (the scan either proved a bound past `now` for every
+    ///   waiting entry, or there are no waiting entries at all).
+    /// * **Fetch** — resumes at `fetch_resume_at` unless structurally gated
+    ///   (unresolved mispredicted branch, full ROB, LSQ-full pending memory
+    ///   op); every gate is lifted only by an issue or retire event, which
+    ///   the calendar already contains.
+    ///
+    /// Events in the past are clamped to `now + 1` (the conservative "act
+    /// next cycle"), so the kernel falls back to plain stepping rather than
+    /// ever jumping backwards. A bound that proves merely "not before X"
+    /// rather than "acts at X" only shortens jumps, never skips an active
+    /// cycle: landing on a still-quiescent cycle re-computes the calendar
+    /// and jumps again.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        let soon = now + 1;
+        let mut next: Option<Cycle> = None;
+        let consider = |next: &mut Option<Cycle>, at: Cycle| {
+            let at = at.max(soon);
+            *next = Some(next.map_or(at, |n| n.min(at)));
+        };
+        if let Some(front) = self.rob.front() {
+            if front.stage == Stage::Done {
+                consider(&mut next, front.done_at);
+            }
+        }
+        if self.waiting > 0 {
+            consider(&mut next, self.issue_scan_at);
+        }
+        if self.fetch_blocked_on.is_none() && self.rob.len() < self.cfg.rob_entries {
+            let lsq_gated = self
+                .pending
+                .as_ref()
+                .is_some_and(|i| i.op.is_mem() && self.lsq_used >= self.cfg.lsq_entries);
+            if !lsq_gated {
+                consider(&mut next, self.fetch_resume_at);
+            }
+        }
+        next
     }
 }
 

@@ -34,6 +34,12 @@ impl Bus {
         self.next_free
     }
 
+    /// The bus's next state change after `now` (it frees up), for the
+    /// skip-ahead kernel's event calendar. `None` while idle.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (self.next_free > now).then_some(self.next_free)
+    }
+
     /// Occupy the bus for a `bytes`-byte transfer requested at `now`.
     /// Returns the cycle at which the transfer completes; accounts traffic
     /// and busy time in `stats`.

@@ -149,6 +149,11 @@ impl TenantAttribution {
     }
 }
 
+/// Widest associativity whose replacement stamps fit the fill path's
+/// stack buffer (covers every configured geometry; wider falls back to a
+/// heap collect).
+const STAMP_BUF_WAYS: usize = 16;
+
 /// A set-associative cache with PIB/RIB line metadata.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -289,6 +294,16 @@ impl Cache {
         // Prefer an invalid way; otherwise ask the policy for a victim.
         let idx = match self.lines[range.clone()].iter().position(|l| !l.valid) {
             Some(off) => range.start + off,
+            None if self.ways <= STAMP_BUF_WAYS => {
+                // Common geometries stay on the stack: a conflict eviction
+                // happens on every steady-state miss fill, so a heap
+                // allocation here is a per-miss malloc.
+                let mut stamps = [0u64; STAMP_BUF_WAYS];
+                for (s, l) in stamps.iter_mut().zip(&self.lines[range.clone()]) {
+                    *s = l.stamp;
+                }
+                range.start + self.repl.victim(&stamps[..self.ways])
+            }
             None => {
                 let stamps: Vec<u64> = self.lines[range.clone()].iter().map(|l| l.stamp).collect();
                 range.start + self.repl.victim(&stamps)

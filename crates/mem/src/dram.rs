@@ -37,6 +37,14 @@ impl MainMemory {
         self.latency
     }
 
+    /// Earliest cycle after `now` at which a busy bank frees up, for the
+    /// skip-ahead kernel's event calendar. `None` with the bankless model
+    /// (unlimited concurrency: memory never changes state on its own) or
+    /// when every bank is already free.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        self.banks_free.iter().copied().filter(|&f| f > now).min()
+    }
+
     /// Cycle at which data for a request issued at `now` leaves the memory
     /// array (bus transfer time is charged separately by the caller). With
     /// banks configured, the request first waits for its line-interleaved

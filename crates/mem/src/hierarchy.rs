@@ -175,6 +175,23 @@ impl Hierarchy {
         self.mshr.live(now)
     }
 
+    /// Earliest future state change anywhere below the LSQ — MSHR fill
+    /// completions, the shared bus freeing up, DRAM banks freeing up — for
+    /// the skip-ahead kernel's event calendar. All three structures are
+    /// passive (demand accesses *observe* their timestamps; nothing fires
+    /// spontaneously), so these wake-ups are conservative: waking on them
+    /// can only shorten a jump, never change machine state.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        [
+            self.mshr.next_event_cycle(now),
+            self.bus.next_event_cycle(now),
+            self.mem.next_event_cycle(now),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
     /// True if `line` is resident in the L1 or the prefetch buffer —
     /// the duplicate-squash predicate for incoming prefetches.
     pub fn prefetch_target_resident(&self, line: LineAddr) -> bool {

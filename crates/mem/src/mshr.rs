@@ -26,6 +26,14 @@ struct Entry {
 pub struct MshrFile {
     entries: Vec<Entry>,
     cap: usize,
+    /// Latest completion cycle ever recorded: once `now` passes it the
+    /// file provably holds no live entry, so the per-hit probe returns
+    /// without scanning. Purely an optimization.
+    max_ready: Cycle,
+    /// Conservative presence filter over in-flight lines (bit
+    /// `hash(line) % 64`), rebuilt on insert; stale bits from expired
+    /// entries only cost a scan, a clear bit proves absence.
+    sig: u64,
 }
 
 impl MshrFile {
@@ -35,17 +43,31 @@ impl MshrFile {
         MshrFile {
             entries: Vec::with_capacity(cap),
             cap,
+            max_ready: 0,
+            sig: 0,
         }
+    }
+
+    /// The presence-filter bit for `line` (see `sig`).
+    #[inline]
+    fn sig_bit(line: LineAddr) -> u64 {
+        1 << (line.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58)
     }
 
     /// Number of live (not yet expired) entries at `now`.
     pub fn live(&self, now: Cycle) -> usize {
+        if now >= self.max_ready {
+            return 0;
+        }
         self.entries.iter().filter(|e| e.ready_at > now).count()
     }
 
     /// If `line` has an in-flight fill at `now`, the cycle it completes.
     #[inline]
     pub fn ready_at(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        if now >= self.max_ready || self.sig & Self::sig_bit(line) == 0 {
+            return None; // provably no live entry for this line
+        }
         self.entries
             .iter()
             .find(|e| e.line == line && e.ready_at > now)
@@ -67,12 +89,39 @@ impl MshrFile {
         out
     }
 
+    /// Earliest completion of any in-flight fill after `now`, for the
+    /// skip-ahead kernel's event calendar. `None` when nothing is in
+    /// flight. Fills are purely passive (hits *wait* on them), so this is
+    /// a conservative wake-up, never a correctness requirement.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if now >= self.max_ready {
+            return None;
+        }
+        self.entries
+            .iter()
+            .map(|e| e.ready_at)
+            .filter(|&r| r > now)
+            .min()
+    }
+
     /// Record an in-flight fill of `line` completing at `ready_at`.
     ///
     /// Expired entries are recycled first; when the file is full the entry
     /// expiring soonest is replaced (timing-only structure — overwriting
     /// loses a little accuracy, never correctness).
     pub fn insert(&mut self, line: LineAddr, ready_at: Cycle, now: Cycle) {
+        self.insert_inner(line, ready_at, now);
+        self.max_ready = self.max_ready.max(ready_at);
+        // Re-derive the presence filter over the entries still live, so
+        // bits from expired or overwritten lines age out at insert time.
+        self.sig = self
+            .entries
+            .iter()
+            .filter(|e| e.ready_at > now)
+            .fold(0, |sig, e| sig | Self::sig_bit(e.line));
+    }
+
+    fn insert_inner(&mut self, line: LineAddr, ready_at: Cycle, now: Cycle) {
         // Merge with an existing in-flight entry for the same line.
         if let Some(e) = self
             .entries

@@ -6,7 +6,7 @@
 //! duplicate prefetches are squashed automatically with no penalty" (§5.1)
 //! — and drops new requests when full.
 
-use ppf_types::{LineAddr, PrefetchRequest};
+use ppf_types::{Cycle, LineAddr, PrefetchRequest};
 use std::collections::VecDeque;
 
 /// Outcome of offering a request to the queue.
@@ -83,6 +83,18 @@ impl PrefetchQueue {
     /// Drop every pending request (used on pipeline flush ablations).
     pub fn clear(&mut self) {
         self.q.clear();
+    }
+
+    /// Next cycle the queue can act, for the skip-ahead kernel: a pending
+    /// request wants a port every cycle, so a non-empty queue's next event
+    /// is always the very next cycle; an empty queue schedules nothing
+    /// (it only refills from core activity, which has its own events).
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if self.q.is_empty() {
+            None
+        } else {
+            Some(now + 1)
+        }
     }
 }
 

@@ -47,16 +47,32 @@ const INVALID: Entry = Entry {
 /// Outstanding shadow prefetches awaiting confirmation.
 const PENDING_RING: usize = 64;
 
+/// Free-slot sentinel in `pending_target`. Line addresses are byte
+/// addresses shifted right by the line-offset bits, so `u64::MAX` can
+/// never name a real line.
+const NO_TARGET: u64 = u64::MAX;
+
 /// The shadow-directory prefetcher.
 #[derive(Debug, Clone)]
 pub struct ShadowDirectoryPrefetcher {
     entries: Box<[Entry]>,
     mask: u64,
     last_l2_line: Option<LineAddr>,
-    /// Ring of (prefetched line, directory slot that issued it); `None`
-    /// slots are free or already confirmed.
-    pending: [Option<(LineAddr, u32)>; PENDING_RING],
+    /// Ring of outstanding prefetch targets, struct-of-arrays so the
+    /// per-access confirmation probe is a flat compare loop over `u64`s:
+    /// `pending_target[i]` is the prefetched line (`NO_TARGET` = free or
+    /// already confirmed) and `pending_slot[i]` the directory slot that
+    /// issued it.
+    pending_target: [u64; PENDING_RING],
+    pending_slot: [u32; PENDING_RING],
     pending_next: usize,
+    /// Conservative presence filter over `pending` targets: the bit
+    /// `hash(line) % 256` is set for every (possibly stale) outstanding
+    /// target (256 bits so the 64-deep ring does not saturate it). A clear
+    /// bit proves the line is not outstanding, so the per-access
+    /// confirmation probe can skip the ring scan; a stale set bit merely
+    /// costs one scan. Never changes behaviour.
+    pending_sig: [u64; 4],
 }
 
 impl ShadowDirectoryPrefetcher {
@@ -68,9 +84,18 @@ impl ShadowDirectoryPrefetcher {
             entries: vec![INVALID; entries].into_boxed_slice(),
             mask: (entries - 1) as u64,
             last_l2_line: None,
-            pending: [None; PENDING_RING],
+            pending_target: [NO_TARGET; PENDING_RING],
+            pending_slot: [0; PENDING_RING],
             pending_next: 0,
+            pending_sig: [0; 4],
         }
+    }
+
+    /// The presence-filter (word, bit) for `line` (see `pending_sig`).
+    #[inline]
+    fn sig_slot(line: LineAddr) -> (usize, u64) {
+        let h = line.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56;
+        ((h >> 6) as usize, 1 << (h & 63))
     }
 
     /// Directory sized for the paper's L2 (16384 lines).
@@ -107,22 +132,38 @@ impl ShadowDirectoryPrefetcher {
         // Rotating overwrite: if the ring is full the oldest outstanding
         // prefetch silently loses its confirmation chance, like a hardware
         // structure of bounded size would.
-        self.pending[self.pending_next] = Some((target, slot as u32));
+        self.pending_target[self.pending_next] = target.0;
+        self.pending_slot[self.pending_next] = slot as u32;
         self.pending_next = (self.pending_next + 1) % PENDING_RING;
+        let (w, b) = Self::sig_slot(target);
+        self.pending_sig[w] |= b;
     }
 
     /// If `line` matches an outstanding shadow prefetch, confirm its issuer.
     fn confirm_if_pending(&mut self, line: LineAddr) {
-        for p in self.pending.iter_mut() {
-            if let Some((target, slot)) = *p {
-                if target == line {
-                    let e = &mut self.entries[slot as usize];
-                    if e.valid && e.shadow == Some(line) {
-                        e.confirmed = true;
-                    }
-                    *p = None;
+        let (w, b) = Self::sig_slot(line);
+        if self.pending_sig[w] & b == 0 {
+            return; // provably not outstanding
+        }
+        let mut removed = false;
+        for i in 0..PENDING_RING {
+            if self.pending_target[i] == line.0 {
+                let e = &mut self.entries[self.pending_slot[i] as usize];
+                if e.valid && e.shadow == Some(line) {
+                    e.confirmed = true;
                 }
+                self.pending_target[i] = NO_TARGET;
+                removed = true;
             }
+        }
+        if removed {
+            // Re-derive the filter so cleared slots stop costing scans.
+            let mut sig = [0u64; 4];
+            for &t in self.pending_target.iter().filter(|&&t| t != NO_TARGET) {
+                let (w, b) = Self::sig_slot(LineAddr(t));
+                sig[w] |= b;
+            }
+            self.pending_sig = sig;
         }
     }
 }
@@ -161,10 +202,10 @@ impl Prefetcher for ShadowDirectoryPrefetcher {
                 if prev != ev.line {
                     let slot = self.lookup_mut(prev);
                     let in_flight = self
-                        .pending
+                        .pending_target
                         .iter()
-                        .flatten()
-                        .any(|&(_, s)| s as usize == slot);
+                        .zip(&self.pending_slot)
+                        .any(|(&t, &s)| t != NO_TARGET && s as usize == slot);
                     let e = &mut self.entries[slot];
                     if e.shadow != Some(ev.line) && !e.confirmed && !in_flight {
                         e.shadow = Some(ev.line);

@@ -26,4 +26,4 @@ pub use experiments::{
 };
 pub use report::SimReport;
 pub use schedule::{cell_key, CostModel};
-pub use simulator::{FilterTapEvent, Simulator, WatchdogConfig};
+pub use simulator::{FilterTapEvent, KernelMode, Simulator, WatchdogConfig};

@@ -43,6 +43,24 @@ const MAX_CPI: u64 = 10_000;
 /// ceiling, so a fully stalled pipeline is caught early.
 const STALL_WINDOW: u64 = 1_000_000;
 
+/// Which cycle kernel drives the machine.
+///
+/// Both kernels execute the identical per-cycle schedule (alternating-
+/// priority prefetch drain, core tick, telemetry close, watchdog checks);
+/// the skip-ahead kernel additionally consults the event calendar after a
+/// provably quiescent cycle and jumps `now` over the stretch of identical
+/// no-op cycles that would follow. The stepping kernel is kept as the
+/// executable reference the cycle-identity drill pins the skip-ahead
+/// kernel against (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Advance every structure every cycle (reference kernel).
+    Stepping,
+    /// Event-driven: jump idle stretches via `next_event_cycle` (default).
+    #[default]
+    SkipAhead,
+}
+
 /// Watchdog bounds for a simulation run: a cycle ceiling derived from the
 /// instruction budget and a no-retire stall detector. Both abort a wedged
 /// cell with a structured [`PpfError`] carrying a pipeline snapshot instead
@@ -314,8 +332,8 @@ impl MemSystem {
         }
     }
 
-    /// Pop prefetches into free L1 ports for cycle `now` (called after the
-    /// core's demand traffic has claimed its ports).
+    /// Pop prefetches into free L1 ports for cycle `now` (sharing the ports
+    /// with the core's demand traffic under alternating priority).
     pub fn drain_prefetch_queue(&mut self, now: Cycle) {
         loop {
             let Some(front) = self.queue.front() else {
@@ -329,12 +347,22 @@ impl MemSystem {
                 continue;
             }
             if !self.l1_ports.try_acquire(now) {
-                self.stats.prefetch_port_retries += 1;
+                // Every request still queued is blocked on ports this
+                // cycle: count one retry per blocked request, so the
+                // counter measures prefetch-side queuing delay rather
+                // than merely how often the drain gave up.
+                self.stats.prefetch_port_retries += self.queue.len() as u64;
                 return;
             }
             let req = self.queue.pop().expect("front exists");
             let issue = self.hierarchy.issue_prefetch(&req, now, &mut self.stats);
             if issue.duplicate {
+                // Unreachable today (the resident check above is the same
+                // predicate `issue_prefetch` re-evaluates, with nothing in
+                // between), but kept as a structural guarantee: if the two
+                // checks ever diverge, a duplicate must still cost nothing
+                // (§5.1) — so return the port grant before squashing.
+                self.l1_ports.release(now);
                 self.stats.prefetches_duplicate.bump(req.source);
                 continue;
             }
@@ -358,6 +386,20 @@ impl MemSystem {
     /// boundary so the funnel counters start balanced).
     pub fn flush_prefetch_queue(&mut self) {
         self.queue.clear();
+    }
+
+    /// The memory side's entry in the skip-ahead kernel's event calendar:
+    /// the prefetch queue wants a port next cycle whenever it is non-empty,
+    /// and the hierarchy's passive structures (MSHR fills, bus, DRAM banks)
+    /// contribute their next completion as conservative wake-ups.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        match (
+            self.queue.next_event_cycle(now),
+            self.hierarchy.next_event_cycle(now),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// End-of-run census: classify lines still resident in the L1 and the
@@ -479,6 +521,7 @@ pub struct Simulator {
     cycle_base: Cycle,
     core_stats: SimStats,
     watchdog: WatchdogConfig,
+    kernel: KernelMode,
     /// Interval telemetry; `None` (the default) is the provably-free-off
     /// state — the per-cycle loop pays one `is_some()` branch and nothing
     /// else.
@@ -511,6 +554,7 @@ impl Simulator {
             cycle_base: 0,
             core_stats: SimStats::default(),
             watchdog: WatchdogConfig::default(),
+            kernel: KernelMode::default(),
             telemetry: None,
         })
     }
@@ -520,6 +564,19 @@ impl Simulator {
     pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
         self.watchdog = watchdog;
         self
+    }
+
+    /// Select the cycle kernel (builder form; the default is
+    /// [`KernelMode::SkipAhead`]). The stepping kernel exists as the
+    /// executable reference for the cycle-identity drill.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The active cycle kernel.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Enable interval telemetry (builder form). A disabled `cfg` leaves
@@ -554,6 +611,15 @@ impl Simulator {
     /// retired, under watchdog supervision. The watchdog checks are
     /// read-only observers of the per-cycle loop, so a run that stays
     /// within bounds is cycle-for-cycle identical to an unsupervised one.
+    ///
+    /// Under [`KernelMode::SkipAhead`], a cycle whose core tick was
+    /// provably a no-op ([`TickOutcome::quiescent`]) with an empty prefetch
+    /// queue jumps `now` to the event calendar's minimum — the earliest
+    /// cycle any structure can act — clamped by the jump barriers: the
+    /// telemetry interval close (the sampler must run exactly at its due
+    /// cycle), the watchdog stall deadline, and the cycle ceiling. Every
+    /// skipped cycle would have executed the identical no-op schedule, so
+    /// the two kernels are cycle-identical by construction (DESIGN.md §14).
     fn drive(&mut self, target: u64, phase: &'static str) -> Result<(), PpfError> {
         let budget = target.saturating_sub(self.core_stats.instructions);
         let deadline = self.now + budget.max(1).saturating_mul(self.watchdog.max_cpi);
@@ -564,17 +630,23 @@ impl Simulator {
             // The prefetch queue and the LSQ share the universal L1 ports
             // (Figure 3). Arbitration alternates priority each cycle so
             // prefetch traffic genuinely competes with demand accesses —
-            // the contention the paper's filter exists to relieve (§5.4).
-            if self.now.is_multiple_of(2) {
+            // the contention the paper's filter exists to relieve (§5.4):
+            // even cycles drain before the core's demand traffic claims
+            // ports (prefetch priority), odd cycles after (demand
+            // priority). Exactly one drain per cycle either way.
+            let prefetch_priority = self.now.is_multiple_of(2);
+            if prefetch_priority {
                 self.mem.drain_prefetch_queue(self.now);
             }
-            self.core.tick(
+            let tick = self.core.tick(
                 self.now,
                 &mut *self.stream,
                 &mut self.mem,
                 &mut self.core_stats,
             );
-            self.mem.drain_prefetch_queue(self.now);
+            if !prefetch_priority {
+                self.mem.drain_prefetch_queue(self.now);
+            }
             // Interval telemetry: a read-only observer, like the watchdog
             // below. Telemetry-off runs pay exactly this one branch.
             if self.telemetry.is_some() {
@@ -612,8 +684,49 @@ impl Simulator {
                 ))
                 .context(self.run_identity()));
             }
+            // Skip-ahead: a quiescent tick with an empty prefetch queue
+            // proves every cycle until the next calendar event repeats the
+            // same no-op schedule (the queue only refills from core
+            // activity, and an empty-queue drain does nothing under either
+            // parity). Jump to one cycle before the event; the `+= 1` at
+            // the top of the loop lands exactly on it.
+            if self.kernel == KernelMode::SkipAhead
+                && tick.quiescent()
+                && self.mem.queue_backlog() == 0
+            {
+                if let Some(next) = self.next_wakeup(last_retire_cycle, deadline) {
+                    self.now = next - 1;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// The event calendar's minimum over every structure, clamped by the
+    /// jump barriers, from a quiescent cycle `self.now`. `None` when the
+    /// minimum is the very next cycle (plain stepping; nothing to skip).
+    ///
+    /// Barriers are cycles the loop body must *execute*, not merely reach:
+    /// the telemetry interval close (`IntervalSampler::sample` derives the
+    /// interval index from being called exactly at its due cycle), the
+    /// watchdog's stall deadline and the cycle ceiling (both must fire at
+    /// the same cycle, with the same message, as under stepping). A fully
+    /// wedged core (no calendar entry at all) degrades to jumping straight
+    /// to the nearest barrier.
+    fn next_wakeup(&self, last_retire_cycle: Cycle, deadline: Cycle) -> Option<Cycle> {
+        let mut next = self
+            .core
+            .next_event_cycle(self.now)
+            .unwrap_or(Cycle::MAX)
+            .min(deadline);
+        if let Some(m) = self.mem.next_event_cycle(self.now) {
+            next = next.min(m);
+        }
+        next = next.min(last_retire_cycle.saturating_add(self.watchdog.stall_window));
+        if let Some(t) = &self.telemetry {
+            next = next.min(t.next_due());
+        }
+        (next > self.now + 1).then_some(next)
     }
 
     /// Run `n` instructions as cache/predictor/filter warm-up, then zero
@@ -703,6 +816,7 @@ impl Simulator {
             cycle_base: self.cycle_base,
             core_stats: self.core_stats.clone(),
             watchdog: self.watchdog,
+            kernel: self.kernel,
             telemetry: None,
         })
     }

@@ -168,6 +168,37 @@ impl Default for MemConfig {
     }
 }
 
+impl MemConfig {
+    /// Validate structural constraints (nonzero bus geometry, coherent
+    /// bank model).
+    pub fn validate(&self) -> Result<(), PpfError> {
+        if self.bus_bytes == 0 || self.bus_cycle == 0 {
+            return Err(PpfError::config_invalid(
+                "bus_bytes and bus_cycle must be nonzero",
+            ));
+        }
+        if self.banks > 0 {
+            if !self.banks.is_power_of_two() {
+                return Err(PpfError::config_invalid(format!(
+                    "bank count {} not a power of two",
+                    self.banks
+                )));
+            }
+            if self.bank_busy == 0 {
+                // A zero busy time makes every bank always free, silently
+                // disabling the serialization the MLP ablation measures.
+                return Err(PpfError::config_invalid(format!(
+                    "bank_busy must be nonzero with {} banks configured \
+                     (bank_busy == 0 disables bank serialization; use \
+                     banks == 0 for unlimited concurrency)",
+                    self.banks
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Which prefetch generators are active.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrefetchConfig {
@@ -525,6 +556,7 @@ impl SystemConfig {
         self.l1.validate().map_err(|e| e.context("l1"))?;
         self.l1i.validate().map_err(|e| e.context("l1i"))?;
         self.l2.validate().map_err(|e| e.context("l2"))?;
+        self.mem.validate().map_err(|e| e.context("mem"))?;
         if self.l1.line_bytes != self.l2.line_bytes {
             // Simplification shared with the paper's setup: both levels use
             // 32-byte lines, so no sub-line fill logic is modelled.
@@ -778,6 +810,38 @@ mod tests {
         let mut c = SystemConfig::paper_default();
         c.prefetch.queue_len = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_bank_model() {
+        // banks > 0 with bank_busy == 0 silently disables the bank
+        // serialization the MLP ablation exists to measure — the config
+        // layer must reject it before a MainMemory is ever built.
+        let mut c = SystemConfig::paper_default();
+        c.mem.banks = 4;
+        c.mem.bank_busy = 0;
+        let err = c.validate().expect_err("degenerate bank model accepted");
+        assert_eq!(err.kind(), crate::PpfErrorKind::ConfigInvalid);
+        assert!(err.to_string().contains("bank_busy"), "{err}");
+
+        let mut c = SystemConfig::paper_default();
+        c.mem.banks = 3;
+        assert!(c.validate().is_err(), "non-power-of-two banks");
+
+        let mut c = SystemConfig::paper_default();
+        c.mem.bus_cycle = 0;
+        assert!(c.validate().is_err(), "zero bus cycle");
+
+        // banks == 0 (unlimited concurrency) stays valid whatever
+        // bank_busy says — the field is simply unused.
+        let mut c = SystemConfig::paper_default();
+        c.mem.banks = 0;
+        c.mem.bank_busy = 0;
+        assert!(c.validate().is_ok());
+        let mut c = SystemConfig::paper_default();
+        c.mem.banks = 4;
+        c.mem.bank_busy = 40;
+        assert!(c.validate().is_ok());
     }
 
     #[test]
