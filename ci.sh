@@ -48,6 +48,9 @@ oracle() {
     # Differential-oracle campaign (DESIGN.md §11): lockstep-check the
     # optimized structures against their naive reference models over
     # seeded random event streams, and replay the committed repro corpus.
+    # Half the filter cases draw the perceptron kind (salted and
+    # partitioned variants included), so the weight tables are conformance
+    # -checked here at the same budget as the counter filters.
     # The randomized budget is bounded so the shard stays fast; CI trims
     # it further on pull requests. A divergence writes a minimized JSONL
     # repro (path in the failure message) before failing the shard.

@@ -69,6 +69,7 @@ fn bench_history_table(c: &mut Criterion) {
                 trigger_pc: rng.below(1 << 16) * 4,
                 source: PrefetchSource::Nsp,
                 tenant: 0,
+                depth: 1,
             };
             let d = f.should_prefetch(&req, now);
             if !d {

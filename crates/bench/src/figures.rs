@@ -25,7 +25,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// All experiment names accepted by [`run_experiment`].
-pub const EXPERIMENTS: [&str; 32] = [
+pub const EXPERIMENTS: [&str; 33] = [
     "table1",
     "table2",
     "calibrate",
@@ -57,6 +57,7 @@ pub const EXPERIMENTS: [&str; 32] = [
     "ablate-banks",
     "ablate-hybrid",
     "ablate-mix",
+    "filter-family",
     "attack-matrix",
 ];
 
@@ -259,6 +260,7 @@ pub fn run_experiment_full(
                 "Ablation: prefetcher mix (stride RPT, Markov correlation)",
             )
         }),
+        "filter-family" => run_and(name, experiments::filter_family(insts), filter_family),
         "attack-matrix" => run_and(name, experiments::attack_matrix(insts), attack_matrix),
         other => Err(PpfError::config_invalid(format!(
             "unknown experiment '{other}'"
@@ -1303,12 +1305,104 @@ pub fn cache_vs_table(reports: &[SimReport]) -> String {
     out
 }
 
+/// Filter kinds in the family head-to-head, in column order. The first
+/// label is the no-filter baseline the IPC deltas compare against.
+const FAMILY_LABELS: [&str; 5] = ["no-filter", "PA", "PC", "hybrid", "perceptron"];
+
+/// Prefetch coverage: the fraction of would-be demand misses the
+/// prefetcher turned into hits (good prefetches over good prefetches plus
+/// the demand misses that still got through).
+fn coverage(r: &SimReport) -> f64 {
+    let good = r.stats.good_total();
+    let misses = r.stats.l1.demand_misses;
+    if good + misses == 0 {
+        0.0
+    } else {
+        good as f64 / (good + misses) as f64
+    }
+}
+
+/// The equal-bit-budget filter family head-to-head (DESIGN.md §15): every
+/// filter kind on every workload at the same storage budget. The first
+/// table shows per-workload `fraction_good` (the pollution-filtering
+/// quality the paper optimizes); the second aggregates each kind's geomean
+/// IPC delta against the unfiltered machine, mean coverage, and the bits
+/// the design actually spends (history/weight tables via [`FilterCost`]).
+pub fn filter_family(reports: &[SimReport]) -> String {
+    use ppf_filter::cost::FilterCost;
+    use ppf_filter::recovery::DEFAULT_REJECT_LOG;
+    use ppf_types::{FilterKind, SystemConfig};
+
+    let mut out = header("Filter family: fraction_good per workload at one storage budget");
+    let mut cols = vec!["benchmark".to_string()];
+    cols.extend(FAMILY_LABELS.iter().map(|s| s.to_string()));
+    let mut t = TextTable::new(cols);
+    let grouped: Vec<Vec<&SimReport>> = FAMILY_LABELS
+        .iter()
+        .map(|l| with_label(reports, l))
+        .collect();
+    for i in 0..grouped[0].len() {
+        let mut row = vec![grouped[0][i].workload.clone()];
+        for g in &grouped {
+            row.push(f3(fraction_good(g[i])));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    let mut s = TextTable::new(vec![
+        "filter",
+        "geomean IPC",
+        "vs no-filter",
+        "mean fraction_good",
+        "mean coverage",
+        "table bits",
+    ]);
+    let kinds = [
+        FilterKind::None,
+        FilterKind::Pa,
+        FilterKind::Pc,
+        FilterKind::Hybrid,
+        FilterKind::Perceptron,
+    ];
+    let base_ipc = geomean(&grouped[0].iter().map(|r| r.ipc()).collect::<Vec<_>>());
+    for (j, label) in FAMILY_LABELS.iter().enumerate() {
+        let rows = &grouped[j];
+        let g = geomean(&rows.iter().map(|r| r.ipc()).collect::<Vec<_>>());
+        let cfg = SystemConfig::paper_default().with_filter(kinds[j]);
+        let cost = FilterCost::of(&cfg.filter, &cfg.l1, DEFAULT_REJECT_LOG);
+        s.row(vec![
+            label.to_string(),
+            f3(g),
+            if j == 0 {
+                "base".to_string()
+            } else {
+                pct(g / base_ipc - 1.0)
+            },
+            f3(mean(
+                &rows.iter().map(|r| fraction_good(r)).collect::<Vec<_>>(),
+            )),
+            f3(mean(&rows.iter().map(|r| coverage(r)).collect::<Vec<_>>())),
+            cost.history_table_bits.to_string(),
+        ]);
+    }
+    out.push_str(&s.render());
+    let _ = writeln!(
+        out,
+        "all filtering cells share the {}x{}-bit counter budget; the\n \
+         perceptron spends it on 5-bit signed feature weights instead",
+        SystemConfig::paper_default().filter.table_entries,
+        SystemConfig::paper_default().filter.counter_bits,
+    );
+    out
+}
+
 /// Hardening levels in the attack matrix, in the order the summary walks
 /// them (mirrors `experiments::HARDENINGS`).
 const HARDENING_ORDER: [&str; 4] = ["unhardened", "salted", "partitioned", "hardened"];
 
 /// Filters covered by the attack matrix (`FilterKind::label` spellings).
-const ATTACK_FILTERS: [&str; 3] = ["PA", "PC", "hybrid"];
+const ATTACK_FILTERS: [&str; 4] = ["PA", "PC", "hybrid", "perceptron"];
 
 /// Fraction of classified prefetches that were good (1.0 when the cell
 /// classified nothing — no pollution observed).

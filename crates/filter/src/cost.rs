@@ -62,11 +62,26 @@ impl FilterCost {
             cfg.table_entries as u64
         };
         let lines = l1.lines() as u64;
+        let history_table_bits = if cfg.kind == FilterKind::Perceptron {
+            // Signed weight tables instead of counters, sized to fit the
+            // same `table_entries x counter_bits` budget. Partitioning
+            // region-slices this allocation without growing it.
+            crate::perceptron::rows_for(cfg.table_entries, cfg.counter_bits)
+                .iter()
+                .map(|&r| r as u64 * crate::perceptron::WEIGHT_BITS as u64)
+                .sum()
+        } else {
+            tables * per_table_entries * cfg.counter_bits as u64
+        };
         FilterCost {
-            history_table_bits: tables * per_table_entries * cfg.counter_bits as u64,
+            history_table_bits,
             pib_bits: lines,
             rib_bits: lines,
-            provenance_bits: if cfg.kind == FilterKind::Pc {
+            // The PC-based filter routes the trigger PC per line; the
+            // perceptron needs the same path (its PC feature indexes
+            // training at eviction time), plus depth rides in the same
+            // provenance word (4 bits, absorbed by the tag slack).
+            provenance_bits: if matches!(cfg.kind, FilterKind::Pc | FilterKind::Perceptron) {
                 lines * PROVENANCE_PC_BITS
             } else {
                 0
@@ -203,6 +218,26 @@ mod tests {
         assert_eq!(strict.reject_log_bits, 0);
         assert_eq!(recovering.reject_log_bits, 4096 * REJECT_SLOT_BITS);
         assert!(recovering.total_bits_shared() > strict.total_bits_shared());
+    }
+
+    #[test]
+    fn perceptron_fits_the_equal_bit_budget() {
+        for parts in [1usize, 4] {
+            let cfg = FilterConfig {
+                kind: FilterKind::Perceptron,
+                tenant_partitions: parts,
+                ..FilterConfig::default()
+            };
+            let c = FilterCost::of(&cfg, &l1(), 4096);
+            let budget = cfg.table_entries as u64 * cfg.counter_bits as u64;
+            assert!(
+                c.history_table_bits <= budget,
+                "{} weight bits from a {budget}-bit budget (P={parts})",
+                c.history_table_bits
+            );
+            // Like the PC filter, training needs the trigger PC per line.
+            assert!(c.provenance_bits > 0);
+        }
     }
 
     #[test]

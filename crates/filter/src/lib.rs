@@ -31,12 +31,15 @@ pub mod adaptive;
 pub mod cost;
 pub mod counter;
 pub mod hash;
+pub mod perceptron;
 pub mod recovery;
 pub mod table;
 
+use ppf_types::json::{FromJson, JsonError, JsonValue, ToJson};
 use ppf_types::{FilterConfig, FilterKind, PrefetchOrigin, PrefetchRequest, PrefetchSource};
 
 use adaptive::AdaptiveGate;
+use perceptron::{accuracy_bucket, Features, Perceptron};
 use table::HistoryTable;
 
 /// Filter-local statistics (also mirrored into the global `SimStats` by the
@@ -108,8 +111,51 @@ pub struct PollutionFilter {
     /// Tournament chooser for [`FilterKind::Hybrid`]: PC-indexed 2-bit
     /// counters; "good" means trust the PC table, otherwise the PA table.
     chooser: Option<HistoryTable>,
+    /// Weight tables for [`FilterKind::Perceptron`] (DESIGN.md §15); the
+    /// counter `tables` vector is empty for that kind.
+    perceptron: Option<Perceptron>,
     /// Keyed-hash salt (0 = the paper's plain fold; DESIGN.md §12).
     salt: u64,
+}
+
+/// A full-state snapshot of whichever storage the configured kind uses —
+/// unsigned counters or signed perceptron weights. This is the oracle's
+/// diff surface and serializes through the JSON layer as a tagged object
+/// (`{"counters": [...]}` / `{"weights": [...]}`) so lockstep divergence
+/// reports render either representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterSnapshot {
+    /// Raw counter arrays of every component table, in table order.
+    Counters(Vec<Vec<u8>>),
+    /// Raw signed weight arrays of every feature table, in feature order.
+    Weights(Vec<Vec<i8>>),
+}
+
+impl ToJson for FilterSnapshot {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            FilterSnapshot::Counters(t) => {
+                JsonValue::Object(vec![("counters".to_string(), t.to_json())])
+            }
+            FilterSnapshot::Weights(t) => {
+                JsonValue::Object(vec![("weights".to_string(), t.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for FilterSnapshot {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        if let Some(c) = v.get("counters") {
+            return Vec::<Vec<u8>>::from_json(c).map(FilterSnapshot::Counters);
+        }
+        if let Some(w) = v.get("weights") {
+            return Vec::<Vec<i8>>::from_json(w).map(FilterSnapshot::Weights);
+        }
+        Err(format!(
+            "expected object with `counters` or `weights`, got {v}"
+        ))
+    }
 }
 
 /// Folded into a nonzero salt per tenant ID so each tenant indexes the
@@ -127,7 +173,11 @@ impl PollutionFilter {
         let table = |entries: usize| {
             HistoryTable::with_partitions(entries, cfg.counter_bits, cfg.counter_init, parts)
         };
-        let tables = if cfg.kind == FilterKind::Hybrid {
+        let tables = if cfg.kind == FilterKind::Perceptron {
+            // All storage lives in the signed weight tables below; an empty
+            // counter-table vector keeps the counter paths inert.
+            Vec::new()
+        } else if cfg.kind == FilterKind::Hybrid {
             // tables[0] is PA-indexed, tables[1] is PC-indexed. The chooser
             // below takes half the advertised budget, each component a
             // quarter, so components + chooser together stay inside
@@ -163,6 +213,9 @@ impl PollutionFilter {
             // the larger share).
             chooser: (cfg.kind == FilterKind::Hybrid)
                 .then(|| table(floor_pow2(cfg.table_entries / 2).max(64))),
+            perceptron: (cfg.kind == FilterKind::Perceptron).then(|| {
+                Perceptron::new(cfg.table_entries, cfg.counter_bits, cfg.counter_init, parts)
+            }),
             salt: cfg.hash_salt,
         }
     }
@@ -198,9 +251,14 @@ impl PollutionFilter {
         &self.stats
     }
 
-    /// History-table entry count (per table when split by source).
+    /// History-table entry count (per table when split by source). For the
+    /// perceptron this is the per-partition row count of the largest
+    /// feature table (the PC/line tables).
     pub fn table_entries(&self) -> usize {
-        self.tables[0].entries()
+        match &self.perceptron {
+            Some(p) => p.rows()[0],
+            None => self.tables[0].entries(),
+        }
     }
 
     /// Number of history tables (1 shared, or one per prefetch source).
@@ -219,6 +277,11 @@ impl PollutionFilter {
     pub fn storage_entries(&self) -> usize {
         self.tables.iter().map(HistoryTable::entries).sum::<usize>()
             + self.chooser_entries().unwrap_or(0)
+            + self
+                .perceptron
+                .as_ref()
+                .map(Perceptron::storage_entries)
+                .unwrap_or(0)
     }
 
     /// Entries-weighted fraction of component-table counters currently
@@ -228,6 +291,9 @@ impl PollutionFilter {
     /// filter reaching steady state. The hybrid chooser is excluded: it
     /// predicts *which table* to trust, not whether a prefetch is good.
     pub fn fraction_good(&self) -> f64 {
+        if let Some(p) = &self.perceptron {
+            return p.fraction_good();
+        }
         let total: usize = self.tables.iter().map(HistoryTable::entries).sum();
         if total == 0 {
             return 1.0;
@@ -252,6 +318,21 @@ impl PollutionFilter {
         self.chooser.as_ref().map(|c| c.counters().to_vec())
     }
 
+    /// Snapshot of the perceptron's signed weight tables in feature order;
+    /// `None` for counter-based kinds.
+    pub fn weight_snapshot(&self) -> Option<Vec<Vec<i8>>> {
+        self.perceptron.as_ref().map(Perceptron::weight_snapshot)
+    }
+
+    /// Full-state snapshot of whichever storage this kind uses — the
+    /// kind-agnostic diff surface for lockstep oracles.
+    pub fn snapshot(&self) -> FilterSnapshot {
+        match self.weight_snapshot() {
+            Some(w) => FilterSnapshot::Weights(w),
+            None => FilterSnapshot::Counters(self.counter_snapshot()),
+        }
+    }
+
     #[inline]
     fn table_idx(&self, source: PrefetchSource) -> usize {
         if self.tables.len() > 1 {
@@ -269,8 +350,10 @@ impl PollutionFilter {
             FilterKind::Pa => Some(hash::hash_line_salted(line, salt)),
             FilterKind::Pc => Some(hash::hash_pc_salted(pc, salt)),
             // Hybrid handles its two keys explicitly at each use site; the
-            // recovery log stores the chosen (key, table) pair.
-            FilterKind::Hybrid => None,
+            // recovery log stores the chosen (key, table) pair. The
+            // perceptron has no single index either — its reject-log entry
+            // stores the feature inputs instead.
+            FilterKind::Hybrid | FilterKind::Perceptron => None,
         }
     }
 
@@ -298,6 +381,48 @@ impl PollutionFilter {
         }
     }
 
+    /// Perceptron lookup path of [`Self::should_prefetch`]: gate bypass,
+    /// then a weight-sum threshold decision. A rejection records the
+    /// feature inputs (target line, trigger PC, clamped depth) in the
+    /// reject log so a later demand miss can re-derive the exact feature
+    /// vector and train it good.
+    fn perceptron_lookup(&mut self, req: &PrefetchRequest, now: u64) -> bool {
+        if let Some(gate) = &self.gate {
+            if !gate.engaged() {
+                self.stats.bypassed += 1;
+                self.stats.allowed += 1;
+                return true;
+            }
+        }
+        let bucket = accuracy_bucket(self.stats.trained_good, self.stats.trained_bad);
+        let feats = Features::of(req.line, req.trigger_pc, req.depth, bucket);
+        let salt = self.effective_salt(req.tenant);
+        let good = self
+            .perceptron
+            .as_ref()
+            .is_none_or(|p| p.predict(&feats, req.tenant, salt));
+        if good {
+            self.stats.allowed += 1;
+        } else {
+            self.stats.rejected += 1;
+            if let Some(log) = &mut self.reject_log {
+                // Slot reuse: `key` carries the trigger PC and `table` the
+                // clamped depth — together with the line, everything needed
+                // to rebuild the feature vector at miss time.
+                log.record(req.line, req.trigger_pc, feats.depth, req.tenant, now);
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            let e = trace.entry(req.trigger_pc).or_default();
+            if good {
+                e.allowed += 1;
+            } else {
+                e.rejected += 1;
+            }
+        }
+        good
+    }
+
     /// Decide whether `req` should be issued (history-table lookup, §4) at
     /// cycle `now`. `FilterKind::None` always allows. The adaptive gate,
     /// when configured and satisfied with recent accuracy, bypasses
@@ -308,6 +433,7 @@ impl PollutionFilter {
                 self.stats.allowed += 1;
                 return true;
             }
+            FilterKind::Perceptron => return self.perceptron_lookup(req, now),
             FilterKind::Hybrid => {
                 let (_, key, table) = self.hybrid_predict(req.line, req.trigger_pc, req.tenant);
                 (key, table)
@@ -364,7 +490,27 @@ impl PollutionFilter {
                 e.trained_bad += 1;
             }
         }
-        if self.kind == FilterKind::Hybrid {
+        if let Some(p) = &mut self.perceptron {
+            // Ordering contract (mirrored by the oracle): the stats bump
+            // above happens FIRST, so the accuracy bucket this training
+            // event hashes feature 4 with already includes the event itself.
+            let bucket = accuracy_bucket(self.stats.trained_good, self.stats.trained_bad);
+            let feats = Features::of(origin.line, origin.trigger_pc, origin.depth, bucket);
+            let salt = if self.salt == 0 {
+                0
+            } else {
+                self.salt ^ (origin.tenant as u64).wrapping_mul(TENANT_TAG_MIX)
+            };
+            // Margin gate (perceptron::TRAIN_MARGIN): good outcomes only
+            // train while the sum is at or below the margin band above the
+            // threshold; bad outcomes always train.
+            if !referenced
+                || p.sum(&feats, origin.tenant, salt)
+                    <= perceptron::DECISION_THRESHOLD + perceptron::TRAIN_MARGIN
+            {
+                p.train(&feats, origin.tenant, salt, referenced);
+            }
+        } else if self.kind == FilterKind::Hybrid {
             let tenant = origin.tenant;
             let salt = self.effective_salt(tenant);
             let pa_key = hash::hash_line_salted(origin.line, salt);
@@ -394,8 +540,25 @@ impl PollutionFilter {
         let Some(log) = &mut self.reject_log else {
             return;
         };
-        if let Some((key, table, tenant)) = log.check_miss(line, now) {
-            self.stats.recovered += 1;
+        let Some((key, table, tenant)) = log.check_miss(line, now) else {
+            return;
+        };
+        self.stats.recovered += 1;
+        if let Some(p) = &mut self.perceptron {
+            // The log entry holds the rejected request's feature inputs
+            // (`key` = trigger PC, `table` = clamped depth; see the reject
+            // path). Re-derive the vector and give the target-specific
+            // weights their one-step second chance (`Perceptron::recover`)
+            // — the analogue of the counter filters' recovery train.
+            let bucket = accuracy_bucket(self.stats.trained_good, self.stats.trained_bad);
+            let feats = Features::of(line, key, table, bucket);
+            let salt = if self.salt == 0 {
+                0
+            } else {
+                self.salt ^ (tenant as u64).wrapping_mul(TENANT_TAG_MIX)
+            };
+            p.recover(&feats, tenant, salt);
+        } else {
             self.tables[table as usize].train_for(key, tenant, true);
         }
     }
@@ -419,6 +582,7 @@ mod tests {
             trigger_pc: pc,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 1,
         }
     }
 
@@ -558,6 +722,7 @@ mod tests {
             trigger_pc: 0x100,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 1,
         };
         f.on_eviction(&nsp.origin(), false);
         f.on_eviction(&nsp.origin(), false);
@@ -590,6 +755,7 @@ mod tests {
             trigger_pc: 0x100,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 1,
         };
         f.on_eviction(&nsp.origin(), false);
         f.on_eviction(&nsp.origin(), false);
@@ -725,5 +891,165 @@ mod tests {
         let fg = f.fraction_good();
         assert!(fg < 1.0, "training bad must lower fraction_good: {fg}");
         assert!(fg > 0.9, "only 8 of 4096 entries were trained: {fg}");
+    }
+
+    #[test]
+    fn perceptron_first_touch_is_allowed_then_learns_bad() {
+        let mut f = PollutionFilter::new(&cfg(FilterKind::Perceptron));
+        let r = req(500, 0x100);
+        assert!(f.should_prefetch(&r, 0), "all-zero weights admit");
+        // One bad eviction drives all five selected weights to −1: sum −5.
+        f.on_eviction(&r.origin(), false);
+        assert!(!f.should_prefetch(&r, 1));
+        // A request sharing no feature slot with the trained one still
+        // passes (different line, page offset, and PC slots; the shared
+        // depth/bucket weights are only −1 each, not enough to flip the
+        // sum alone). PC 0x904 folds to row 577 of 1024, clear of 0x100's 64.
+        assert!(f.should_prefetch(&req(1000, 0x904), 2));
+    }
+
+    #[test]
+    fn perceptron_relearns_good() {
+        let mut f = PollutionFilter::new(&cfg(FilterKind::Perceptron));
+        let r = req(500, 0x100);
+        for _ in 0..4 {
+            f.on_eviction(&r.origin(), false);
+        }
+        assert!(!f.should_prefetch(&r, 0));
+        for _ in 0..5 {
+            f.on_eviction(&r.origin(), true);
+        }
+        assert!(f.should_prefetch(&r, 1), "weights trained back up");
+    }
+
+    #[test]
+    fn perceptron_rejected_prefetch_recovers_via_demand_miss() {
+        let mut f = PollutionFilter::new(&cfg(FilterKind::Perceptron));
+        let r = req(500, 0x100);
+        f.on_eviction(&r.origin(), false);
+        assert!(!f.should_prefetch(&r, 0));
+        // The rejection was wrong: the program demand-misses the line. One
+        // good train lifts the sum from −5 back to 0 (admit).
+        f.on_demand_miss(LineAddr(500), 5);
+        assert_eq!(f.stats().recovered, 1);
+        assert!(f.should_prefetch(&r, 6), "feature vector recovered");
+    }
+
+    #[test]
+    fn perceptron_storage_never_exceeds_the_counter_budget() {
+        for (entries, bits) in [(4096usize, 2u8), (1024, 2), (256, 3), (64, 1)] {
+            let mut c = cfg(FilterKind::Perceptron);
+            c.table_entries = entries;
+            c.counter_bits = bits;
+            let f = PollutionFilter::new(&c);
+            let budget_bits = entries * bits as usize;
+            let spent = f.storage_entries() * perceptron::WEIGHT_BITS;
+            // The fixed feature tables (88 slots = 440 bits) dominate only
+            // for degenerate budgets; everywhere else the layout must fit.
+            if budget_bits >= 1024 {
+                assert!(
+                    spent <= budget_bits,
+                    "{entries}x{bits}: spent {spent} of {budget_bits} bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perceptron_snapshot_is_weights_counters_otherwise() {
+        let f = PollutionFilter::new(&cfg(FilterKind::Perceptron));
+        assert!(f.counter_snapshot().is_empty());
+        let snap = f.snapshot();
+        match &snap {
+            FilterSnapshot::Weights(w) => {
+                assert_eq!(w.len(), perceptron::FEATURE_COUNT);
+                assert!(w.iter().flatten().all(|&x| x == 0));
+            }
+            other => panic!("expected weights, got {other:?}"),
+        }
+        let f = PollutionFilter::new(&cfg(FilterKind::Pa));
+        assert!(f.weight_snapshot().is_none());
+        assert!(matches!(f.snapshot(), FilterSnapshot::Counters(_)));
+    }
+
+    #[test]
+    fn filter_snapshot_round_trips_through_json() {
+        use ppf_types::json::{FromJson, ToJson};
+        let w = FilterSnapshot::Weights(vec![vec![-15, 0, 15], vec![1, -1]]);
+        let c = FilterSnapshot::Counters(vec![vec![0, 3], vec![2]]);
+        for snap in [w, c] {
+            let back = FilterSnapshot::from_json(&snap.to_json()).unwrap();
+            assert_eq!(back, snap);
+        }
+    }
+
+    #[test]
+    fn perceptron_depth_feature_distinguishes_deep_prefetches() {
+        // Same PC and page, different depths: deep speculative requests can
+        // be trained bad while shallow ones stay admitted, because the depth
+        // feature selects different weights. The line feature also differs
+        // here (as it would for a real degree-d burst), so the test drives
+        // the shared PC weight down and checks depth keeps them apart.
+        let mut f = PollutionFilter::new(&cfg(FilterKind::Perceptron));
+        let shallow = PrefetchRequest {
+            depth: 1,
+            ..req(500, 0x100)
+        };
+        let deep = PrefetchRequest {
+            depth: 8,
+            ..req(501, 0x100)
+        };
+        // Deep requests train bad; shallow ones good — alternating, so the
+        // shared PC/bucket weights roughly cancel.
+        for _ in 0..6 {
+            f.on_eviction(&deep.origin(), false);
+            f.on_eviction(&shallow.origin(), true);
+        }
+        assert!(!f.should_prefetch(&deep, 0), "deep class trained bad");
+        assert!(f.should_prefetch(&shallow, 1), "shallow class still good");
+    }
+
+    #[test]
+    fn perceptron_tenants_are_isolated_with_partitions() {
+        let mut c = cfg(FilterKind::Perceptron);
+        c.tenant_partitions = 4;
+        let mut f = PollutionFilter::new(&c);
+        let hostile = PrefetchRequest {
+            tenant: 1,
+            ..req(500, 0x100)
+        };
+        for _ in 0..8 {
+            f.on_eviction(&hostile.origin(), false);
+        }
+        assert!(!f.should_prefetch(&hostile, 0));
+        let victim = PrefetchRequest {
+            tenant: 0,
+            ..req(500, 0x100)
+        };
+        assert!(
+            f.should_prefetch(&victim, 1),
+            "tenant 0's partition is untouched by tenant 1's pollution"
+        );
+    }
+
+    #[test]
+    fn perceptron_gate_bypass_counts() {
+        let mut c = cfg(FilterKind::Perceptron);
+        c.adaptive_accuracy_threshold = Some(0.5);
+        c.adaptive_window = 16;
+        let mut f = PollutionFilter::new(&c);
+        let r = req(9, 0x100);
+        // Pollute r's feature slots, but keep overall accuracy high.
+        f.on_eviction(&r.origin(), false);
+        f.on_eviction(&r.origin(), false);
+        for i in 0..32 {
+            f.on_eviction(&req(100 + i, 0x200).origin(), true);
+        }
+        assert!(f.should_prefetch(&r, 0), "high accuracy -> gate bypasses");
+        assert!(f.stats().bypassed > 0);
+        for i in 0..64 {
+            f.on_eviction(&req(200 + i, 0x300).origin(), false);
+        }
+        assert!(!f.should_prefetch(&r, 1), "low accuracy -> filter engages");
     }
 }

@@ -2,10 +2,13 @@
 //! behaviour under arbitrary training, and end-to-end filter consistency.
 
 use ppf_filter::counter::SatCounter;
-use ppf_filter::hash::{hash_line, hash_line_salted, hash_pc, hash_pc_salted};
+use ppf_filter::hash::{fold16_salted, hash_line, hash_line_salted, hash_pc, hash_pc_salted};
+use ppf_filter::perceptron::{Features, Perceptron, FEATURE_COUNT, WEIGHT_MAX};
 use ppf_filter::table::HistoryTable;
-use ppf_filter::PollutionFilter;
-use ppf_types::{FilterConfig, FilterKind, LineAddr, PrefetchRequest, PrefetchSource};
+use ppf_filter::{FilterSnapshot, PollutionFilter};
+use ppf_types::{
+    CounterInit, FilterConfig, FilterKind, JsonValue, LineAddr, PrefetchRequest, PrefetchSource,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -267,6 +270,7 @@ proptest! {
                 trigger_pc: *l ^ 0xabcd,
                 source: PrefetchSource::Nsp,
                 tenant: 0,
+                depth: 1,
             };
             prop_assert!(f.should_prefetch(&req, i as u64));
             // Train adversarially; it must still never reject.
@@ -285,7 +289,7 @@ proptest! {
         // (lookups must not themselves mutate the prediction).
         let cfg = FilterConfig { kind, ..FilterConfig::default() };
         let mut f = PollutionFilter::new(&cfg);
-        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Sdp, tenant: 0 };
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Sdp, tenant: 0, depth: 1 };
         let a = f.should_prefetch(&req, 0);
         let b = f.should_prefetch(&req, 1);
         prop_assert_eq!(a, b);
@@ -302,7 +306,7 @@ proptest! {
         // matching steady-state decision after a handful of trainings.
         let cfg = FilterConfig { kind, ..FilterConfig::default() };
         let mut f = PollutionFilter::new(&cfg);
-        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp, tenant: 0 };
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp, tenant: 0, depth: 1 };
         for _ in 0..4 {
             f.on_eviction(&req.origin(), good);
         }
@@ -318,7 +322,7 @@ proptest! {
         prop_assume!(line != other);
         let cfg = FilterConfig { kind: FilterKind::Pa, ..FilterConfig::default() };
         let mut f = PollutionFilter::new(&cfg);
-        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp, tenant: 0 };
+        let req = PrefetchRequest { line: LineAddr(line), trigger_pc: pc, source: PrefetchSource::Nsp, tenant: 0, depth: 1 };
         f.on_eviction(&req.origin(), false);
         f.on_eviction(&req.origin(), false);
         prop_assert!(!f.should_prefetch(&req, 10));
@@ -327,5 +331,125 @@ proptest! {
         // which different lines cannot: the log stores the exact line).
         f.on_demand_miss(LineAddr(other), 11);
         prop_assert!(!f.should_prefetch(&req, 12));
+    }
+
+    #[test]
+    fn perceptron_weights_saturate_symmetrically_in_unit_steps(
+        line in any::<u64>(),
+        pc in any::<u64>(),
+        depth in any::<u8>(),
+        bucket in 0u8..8,
+        salt in any::<u64>(),
+        outcomes in prop::collection::vec(any::<bool>(), 0..120),
+    ) {
+        // Signed analogue of `counter_moves_monotonically_in_unit_steps`:
+        // whatever the training history, the weight sum moves by at most
+        // FEATURE_COUNT per step, in the trained direction, and every
+        // individual weight stays inside ±WEIGHT_MAX. Driving one outcome
+        // long enough pins the sum at exactly ±(FEATURE_COUNT * WEIGHT_MAX)
+        // — saturation is symmetric around zero, unlike the unsigned
+        // counters' [0, max] band.
+        let mut p = Perceptron::new(1024, 2, CounterInit::WeaklyGood, 1);
+        let f = Features::of(LineAddr(line), pc, depth, bucket);
+        let mut prev = p.sum(&f, 0, salt);
+        for good in outcomes {
+            p.train(&f, 0, salt, good);
+            let s = p.sum(&f, 0, salt);
+            if good {
+                prop_assert!(s >= prev, "good training must not lower the sum");
+            } else {
+                prop_assert!(s <= prev, "bad training must not raise the sum");
+            }
+            prop_assert!((s - prev).abs() <= FEATURE_COUNT as i32, "unit steps per table");
+            prop_assert!(
+                p.weight_snapshot().iter().flatten().all(|w| (-WEIGHT_MAX..=WEIGHT_MAX).contains(w))
+            );
+            prev = s;
+        }
+        let bound = FEATURE_COUNT as i32 * WEIGHT_MAX as i32;
+        for _ in 0..2 * WEIGHT_MAX as usize {
+            p.train(&f, 0, salt, true);
+        }
+        prop_assert_eq!(p.sum(&f, 0, salt), bound);
+        for _ in 0..4 * WEIGHT_MAX as usize {
+            p.train(&f, 0, salt, false);
+        }
+        prop_assert_eq!(p.sum(&f, 0, salt), -bound);
+    }
+
+    #[test]
+    fn perceptron_prediction_is_monotone_in_every_feature_weight(
+        line in any::<u64>(),
+        pc in any::<u64>(),
+        depth in any::<u8>(),
+        bucket in 0u8..8,
+        salt in any::<u64>(),
+        pre in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        // From ANY reachable weight state, one good training step never
+        // flips an admitted prefetch to rejected, and one bad step never
+        // flips a rejected prefetch to admitted. Each step raises (lowers)
+        // every selected feature weight by at most one, so this is
+        // monotonicity of the decision in each feature's weight — a
+        // perceptron whose admit region were non-monotone in a weight would
+        // un-learn under consistent feedback.
+        let mut p = Perceptron::new(512, 2, CounterInit::WeaklyGood, 1);
+        let f = Features::of(LineAddr(line), pc, depth, bucket);
+        for good in pre {
+            p.train(&f, 0, salt, good);
+        }
+        let mut up = p.clone();
+        up.train(&f, 0, salt, true);
+        prop_assert!(
+            !p.predict(&f, 0, salt) || up.predict(&f, 0, salt),
+            "raising weights must not reject an admitted prefetch"
+        );
+        let mut down = p.clone();
+        down.train(&f, 0, salt, false);
+        prop_assert!(
+            p.predict(&f, 0, salt) || !down.predict(&f, 0, salt),
+            "lowering weights must not admit a rejected prefetch"
+        );
+    }
+
+    #[test]
+    fn perceptron_feature_fold_covers_every_row_for_any_salt(
+        rows_log2 in 3u32..13,
+        salt in any::<u64>(),
+        high in any::<u64>(),
+    ) {
+        // Every perceptron feature table is indexed
+        // `fold16_salted(value, salt) & (rows - 1)` with power-of-two rows.
+        // A sweep of 2^k consecutive feature values (arbitrary upper bits)
+        // must cover all 2^k rows for ANY salt — this is what guarantees
+        // the bounded features (page offset: 64 values into 64 rows, depth:
+        // 16 into 16, accuracy: 8 into 8) waste no rows, and that the big
+        // PC/line tables keep the unsalted coverage property under keying.
+        let rows = 1usize << rows_log2;
+        let mask = (rows - 1) as u64;
+        let mut hit = vec![false; rows];
+        for v in 0..rows as u64 {
+            hit[(fold16_salted((high << 16) | v, salt) & mask) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "sweep must cover all {} rows", rows);
+    }
+
+    #[test]
+    fn filter_snapshot_round_trips_through_json_text(
+        weights in prop::collection::vec(
+            prop::collection::vec(-15i8..=15, 0..12), 0..6),
+        counters in prop::collection::vec(
+            prop::collection::vec(0u8..=7, 0..12), 0..6),
+    ) {
+        // Both snapshot arms survive a full serialize -> text -> parse ->
+        // deserialize cycle: the lockstep harness and the committed repro
+        // corpus depend on the weight/counter state being diffable through
+        // its JSON rendering without loss.
+        use ppf_types::json::{FromJson, ToJson};
+        for snap in [FilterSnapshot::Weights(weights.clone()), FilterSnapshot::Counters(counters.clone())] {
+            let text = snap.to_json().to_string();
+            let back = FilterSnapshot::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            prop_assert_eq!(back, snap);
+        }
     }
 }

@@ -130,6 +130,7 @@ mod tests {
             trigger_pc: 0x2000,
             source: PrefetchSource::Sdp,
             tenant: 0,
+            depth: 0,
         }
     }
 

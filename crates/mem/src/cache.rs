@@ -90,6 +90,7 @@ impl Line {
                         trigger_pc: 0,
                         source: ppf_types::PrefetchSource::Nsp,
                         tenant: 0,
+                        depth: 0,
                     }),
                     self.rib,
                 ))
@@ -473,6 +474,7 @@ mod tests {
             trigger_pc: 0x1000,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 0,
         }
     }
 

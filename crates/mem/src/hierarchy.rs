@@ -526,6 +526,7 @@ mod tests {
             trigger_pc: 0x4400,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 0,
         }
     }
 

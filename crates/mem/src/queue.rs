@@ -109,6 +109,7 @@ mod tests {
             trigger_pc: 0x400,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 0,
         }
     }
 

@@ -136,6 +136,7 @@ mod tests {
                     trigger_pc: 0x100,
                     source: PrefetchSource::Nsp,
                     tenant: 0,
+                    depth: 0,
                 },
                 false,
             )),

@@ -31,6 +31,7 @@ fn origin(line: u64) -> PrefetchOrigin {
         trigger_pc: 0x1000 + (line % 64) * 4,
         source: PrefetchSource::Nsp,
         tenant: 0,
+        depth: 1,
     }
 }
 
@@ -126,6 +127,7 @@ proptest! {
                 trigger_pc: 0,
                 source: PrefetchSource::Sdp,
                 tenant: 0,
+                depth: 1,
             };
             match q.push(req) {
                 PushOutcome::Enqueued => {}

@@ -19,7 +19,7 @@
 //! oracle to the real structure's RNG draw order, which is exactly the kind
 //! of incidental detail a reference model must not encode.
 
-use crate::event::{b, obj, op, s, u};
+use crate::event::{b, obj, op, s, u, u_or};
 use crate::Harness;
 use ppf_mem::cache::{Cache, Evicted, FillKind, LineState, ProbeHit};
 use ppf_mem::replacement::ReplacementPolicy;
@@ -240,6 +240,7 @@ impl CacheHarness {
             source: PrefetchSource::from_json(&JsonValue::Str(s(e, "source").to_string()))
                 .unwrap_or_else(|err| panic!("bad prefetch source in {e}: {err}")),
             tenant: 0,
+            depth: u_or(e, "depth", 0) as u8,
         }
     }
 
@@ -360,6 +361,7 @@ mod tests {
             trigger_pc: 0x1000,
             source: PrefetchSource::Nsp,
             tenant: 0,
+            depth: 0,
         }
     }
 

@@ -20,6 +20,13 @@
 //!   fold through per-half affine permutations (re-derived here, not
 //!   imported), tag-mixed per tenant; `tenant_partitions > 1` confines
 //!   each tenant to its own slice of every table.
+//! * The hashed perceptron (DESIGN.md §15): five signed weight tables
+//!   indexed by the folded PC, line, page offset, clamped depth, and the
+//!   global-accuracy bucket; admit when the weight sum reaches the
+//!   threshold; unit-step training clamped at ±15. [`RefPerceptron`]
+//!   re-derives the geometry (budget split, fixed feature tables) and the
+//!   decision/training rules from the spec with plain `Vec<Vec<i8>>`
+//!   storage and modulo indexing.
 //!
 //! The adaptive gate is deliberately **not** modelled: campaigns run with
 //! `adaptive_accuracy_threshold = None` and the harness refuses gated
@@ -102,12 +109,147 @@ struct Rejection {
     stamp: u64,
 }
 
+/// Perceptron spec constants, re-derived from DESIGN.md §15 (not imported
+/// from `ppf_filter::perceptron`).
+const PERC_FEATURES: usize = 5;
+const PERC_WEIGHT_BITS: usize = 5;
+const PERC_WEIGHT_MAX: i8 = 15;
+const PERC_THRESHOLD: i32 = -2;
+/// Positive-side training margin (mirrors `perceptron::TRAIN_MARGIN`).
+const PERC_TRAIN_MARGIN: i32 = 2;
+const PERC_MAX_DEPTH: u64 = 15;
+const PERC_ACC_BUCKETS: u64 = 8;
+
+/// The global-accuracy bucket (feature 4) for the filter's lifetime
+/// training counts; the top bucket when untrained.
+fn perc_bucket(trained_good: u64, trained_bad: u64) -> u64 {
+    match (trained_good * PERC_ACC_BUCKETS).checked_div(trained_good + trained_bad) {
+        None => PERC_ACC_BUCKETS - 1,
+        Some(scaled) => scaled.min(PERC_ACC_BUCKETS - 1),
+    }
+}
+
+/// Naive reference model of the hashed-perceptron weight storage: five
+/// plain signed vectors, modulo indexing, spelled out feature by feature.
+#[derive(Debug, Clone)]
+pub struct RefPerceptron {
+    /// `weights[f]` holds `rows[f] * partitions` signed weights.
+    weights: Vec<Vec<i8>>,
+    /// Per-partition region size of each feature table.
+    rows: Vec<usize>,
+    partitions: usize,
+}
+
+impl RefPerceptron {
+    fn new(cfg: &FilterConfig, partitions: usize) -> Self {
+        // Budget split per the spec: the whole structure fits in the
+        // `table_entries x counter_bits` bit budget at 5 bits a weight; the
+        // bounded features (page offset / depth / accuracy) take 64/16/8
+        // rows, the line feature takes the largest power of two at most
+        // half the remainder, the PC feature the largest power of two in
+        // what is left, both floored at 16 rows.
+        let slots = cfg.table_entries * cfg.counter_bits as usize / PERC_WEIGHT_BITS;
+        let fixed = 64 + 16 + 8;
+        let free = slots.saturating_sub(fixed);
+        let line_rows = pow2_floor(free / 2).max(16);
+        let pc_rows = pow2_floor(free.saturating_sub(line_rows)).max(16);
+        let total = [pc_rows, line_rows, 64, 16, 8];
+        let w0: i8 = match cfg.counter_init {
+            CounterInit::WeaklyGood => 0,
+            CounterInit::StronglyGood => 1,
+            CounterInit::WeaklyBad => -1,
+        };
+        let rows: Vec<usize> = total.iter().map(|&r| (r / partitions).max(1)).collect();
+        let weights = rows.iter().map(|&r| vec![w0; r * partitions]).collect();
+        RefPerceptron {
+            weights,
+            rows,
+            partitions,
+        }
+    }
+
+    /// The five feature slots a (line, pc, depth, bucket) event selects for
+    /// `tenant` under the effective `salt`.
+    fn slots(
+        &self,
+        line: LineAddr,
+        pc: u64,
+        depth: u64,
+        bucket: u64,
+        tenant: u8,
+        salt: u64,
+    ) -> [usize; PERC_FEATURES] {
+        let values = [
+            pc >> 2,
+            line.0,
+            line.0 % 64,
+            depth.min(PERC_MAX_DEPTH),
+            bucket,
+        ];
+        let mut out = [0usize; PERC_FEATURES];
+        for f in 0..PERC_FEATURES {
+            let region = self.rows[f];
+            let idx = (fold16_salted(values[f], salt) as usize) % region;
+            out[f] = (tenant as usize % self.partitions) * region + idx;
+        }
+        out
+    }
+
+    fn sum(&self, line: LineAddr, pc: u64, depth: u64, bucket: u64, tenant: u8, salt: u64) -> i32 {
+        self.slots(line, pc, depth, bucket, tenant, salt)
+            .iter()
+            .enumerate()
+            .map(|(f, &s)| self.weights[f][s] as i32)
+            .sum()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train(
+        &mut self,
+        line: LineAddr,
+        pc: u64,
+        depth: u64,
+        bucket: u64,
+        tenant: u8,
+        salt: u64,
+        good: bool,
+    ) {
+        let slots = self.slots(line, pc, depth, bucket, tenant, salt);
+        for (w_table, s) in self.weights.iter_mut().zip(slots) {
+            let w = &mut w_table[s];
+            *w = if good {
+                (*w + 1).min(PERC_WEIGHT_MAX)
+            } else {
+                (*w - 1).max(-PERC_WEIGHT_MAX)
+            };
+        }
+    }
+
+    /// Recovery training: only the target-specific features (PC, line,
+    /// page offset — tables 0..3) move up; shared depth/accuracy weights
+    /// stay put (mirrors `Perceptron::recover`).
+    fn recover(&mut self, line: LineAddr, pc: u64, depth: u64, bucket: u64, tenant: u8, salt: u64) {
+        let slots = self.slots(line, pc, depth, bucket, tenant, salt);
+        for (w_table, s) in self.weights.iter_mut().zip(slots).take(3) {
+            let w = &mut w_table[s];
+            *w = (*w + 1).min(PERC_WEIGHT_MAX);
+        }
+    }
+
+    /// The raw weight arrays in feature order (compared against
+    /// [`PollutionFilter::weight_snapshot`]).
+    pub fn weights(&self) -> &[Vec<i8>] {
+        &self.weights
+    }
+}
+
 /// Naive reference filter: counter vectors plus a flat reject log.
 #[derive(Debug, Clone)]
 pub struct RefFilter {
     kind: FilterKind,
     tables: Vec<Vec<u8>>,
     chooser: Option<Vec<u8>>,
+    perceptron: Option<RefPerceptron>,
     max: u8,
     threshold: u8,
     reject: Option<Vec<Option<Rejection>>>,
@@ -136,6 +278,8 @@ impl RefFilter {
         };
         let table = |entries: usize| vec![init; entries];
         let (tables, chooser) = match (cfg.kind, cfg.split_by_source) {
+            // The perceptron keeps all its state in the weight tables.
+            (FilterKind::Perceptron, _) => (Vec::new(), None),
             (FilterKind::Hybrid, _) => {
                 let per = pow2_floor(cfg.table_entries / 4).max(64);
                 (
@@ -152,17 +296,20 @@ impl RefFilter {
             }
             _ => (vec![table(cfg.table_entries)], None),
         };
+        let partitions = cfg.tenant_partitions.clamp(1, MAX_TENANTS);
         Ok(RefFilter {
             kind: cfg.kind,
             tables,
             chooser,
+            perceptron: (cfg.kind == FilterKind::Perceptron)
+                .then(|| RefPerceptron::new(cfg, partitions)),
             max,
             threshold: max / 2,
             reject: (cfg.kind != FilterKind::None && cfg.recovery_window > 0)
                 .then(|| vec![None; REJECT_LOG_ENTRIES]),
             window: cfg.recovery_window,
             salt: cfg.hash_salt,
-            partitions: cfg.tenant_partitions.clamp(1, MAX_TENANTS),
+            partitions,
             stats: FilterStats::default(),
         })
     }
@@ -220,7 +367,7 @@ impl RefFilter {
     ) -> Option<(u64, usize)> {
         let salt = self.effective_salt(tenant);
         match self.kind {
-            FilterKind::None | FilterKind::Hybrid => None,
+            FilterKind::None | FilterKind::Hybrid | FilterKind::Perceptron => None,
             FilterKind::Pa => Some((pa_key(line, salt), self.table_for(source))),
             FilterKind::Pc => Some((pc_key(pc, salt), self.table_for(source))),
         }
@@ -242,15 +389,44 @@ impl RefFilter {
         }
     }
 
-    /// Mirror of [`PollutionFilter::should_prefetch`].
+    /// Mirror of [`PollutionFilter::should_prefetch`]. `depth` feeds the
+    /// perceptron's depth feature and is ignored by the counter kinds.
     pub fn lookup(
         &mut self,
         line: LineAddr,
         pc: u64,
         source: PrefetchSource,
         tenant: u8,
+        depth: u64,
         now: u64,
     ) -> bool {
+        if self.kind == FilterKind::Perceptron {
+            let bucket = perc_bucket(self.stats.trained_good, self.stats.trained_bad);
+            let salt = self.effective_salt(tenant);
+            let good = self
+                .perceptron
+                .as_ref()
+                .map(|p| p.sum(line, pc, depth, bucket, tenant, salt) >= PERC_THRESHOLD)
+                .unwrap_or(true);
+            if good {
+                self.stats.allowed += 1;
+            } else {
+                self.stats.rejected += 1;
+                if let Some(log) = &mut self.reject {
+                    // The log slot reuses `key` for the trigger PC and
+                    // `table` for the clamped depth — the feature inputs a
+                    // recovery train needs.
+                    log[(line.0 as usize) % REJECT_LOG_ENTRIES] = Some(Rejection {
+                        line,
+                        key: pc,
+                        table: depth.min(PERC_MAX_DEPTH) as usize,
+                        tenant,
+                        stamp: now,
+                    });
+                }
+            }
+            return good;
+        }
         let (key, table) = match self.kind {
             FilterKind::None => {
                 self.stats.allowed += 1;
@@ -277,13 +453,15 @@ impl RefFilter {
         good
     }
 
-    /// Mirror of [`PollutionFilter::on_eviction`].
+    /// Mirror of [`PollutionFilter::on_eviction`]. `depth` feeds the
+    /// perceptron's depth feature and is ignored by the counter kinds.
     pub fn evict(
         &mut self,
         line: LineAddr,
         pc: u64,
         source: PrefetchSource,
         tenant: u8,
+        depth: u64,
         referenced: bool,
     ) {
         if referenced {
@@ -291,7 +469,24 @@ impl RefFilter {
         } else {
             self.stats.trained_bad += 1;
         }
-        if self.kind == FilterKind::Hybrid {
+        if self.kind == FilterKind::Perceptron {
+            // Ordering contract with the real filter: the stats bump above
+            // comes first, so feature 4 hashes with a bucket that already
+            // includes this event.
+            let bucket = perc_bucket(self.stats.trained_good, self.stats.trained_bad);
+            let salt = self.effective_salt(tenant);
+            if let Some(p) = &mut self.perceptron {
+                // Positive-side margin gate, mirroring the real filter:
+                // good outcomes only train while the sum sits within the
+                // margin band above the threshold; bad always trains.
+                if !referenced
+                    || p.sum(line, pc, depth, bucket, tenant, salt)
+                        <= PERC_THRESHOLD + PERC_TRAIN_MARGIN
+                {
+                    p.train(line, pc, depth, bucket, tenant, salt, referenced);
+                }
+            }
+        } else if self.kind == FilterKind::Hybrid {
             let salt = self.effective_salt(tenant);
             let (pak, pck) = (pa_key(line, salt), pc_key(pc, salt));
             let pa_right = self.predicts_good(0, pak, tenant) == referenced;
@@ -329,7 +524,18 @@ impl RefFilter {
                 log[slot] = None;
                 if now.saturating_sub(r.stamp) <= self.window {
                     self.stats.recovered += 1;
-                    self.train(r.table, r.key, r.tenant, true);
+                    if self.kind == FilterKind::Perceptron {
+                        // Rebuild the rejected feature vector (`key` = PC,
+                        // `table` = clamped depth); only the target
+                        // features get the recovery step.
+                        let bucket = perc_bucket(self.stats.trained_good, self.stats.trained_bad);
+                        let salt = self.effective_salt(r.tenant);
+                        if let Some(p) = &mut self.perceptron {
+                            p.recover(r.line, r.key, r.table as u64, bucket, r.tenant, salt);
+                        }
+                    } else {
+                        self.train(r.table, r.key, r.tenant, true);
+                    }
                 }
             }
             _ => {}
@@ -345,6 +551,12 @@ impl RefFilter {
     /// Chooser counter array, for hybrid configs.
     pub fn chooser(&self) -> Option<&[u8]> {
         self.chooser.as_deref()
+    }
+
+    /// Perceptron weight arrays, for perceptron configs (compared against
+    /// [`PollutionFilter::weight_snapshot`]).
+    pub fn perceptron_weights(&self) -> Option<&[Vec<i8>]> {
+        self.perceptron.as_ref().map(RefPerceptron::weights)
     }
 
     /// Statistics accumulated by the model.
@@ -387,6 +599,13 @@ impl FilterHarness {
                 self.oracle.chooser()
             ));
         }
+        let real_weights = self.real.weight_snapshot();
+        if real_weights.as_deref() != self.oracle.perceptron_weights() {
+            return Err(format!(
+                "perceptron weights diverged: real {real_weights:?} vs oracle {:?}",
+                self.oracle.perceptron_weights()
+            ));
+        }
         if *self.real.stats() != self.oracle.stats {
             return Err(format!(
                 "stats diverged: real {:?} vs oracle {:?}",
@@ -422,14 +641,18 @@ impl Harness for FilterHarness {
                 let pc = u(event, "pc");
                 let source = source_of(event);
                 let now = u(event, "now");
+                // Lenient like `tenant`: pre-perceptron repros carry no
+                // depth field and replay as depth 0.
+                let depth = u_or(event, "depth", 0);
                 let req = PrefetchRequest {
                     line,
                     trigger_pc: pc,
                     source,
                     tenant,
+                    depth: depth.min(u8::MAX as u64) as u8,
                 };
                 let real = self.real.should_prefetch(&req, now);
-                let oracle = self.oracle.lookup(line, pc, source, tenant, now);
+                let oracle = self.oracle.lookup(line, pc, source, tenant, depth, now);
                 if real != oracle {
                     return Err(format!(
                         "lookup decision: real {real} vs oracle {oracle} for {event}"
@@ -440,14 +663,17 @@ impl Harness for FilterHarness {
                 let pc = u(event, "pc");
                 let source = source_of(event);
                 let referenced = crate::event::b(event, "referenced");
+                let depth = u_or(event, "depth", 0);
                 let origin = PrefetchOrigin {
                     line,
                     trigger_pc: pc,
                     source,
                     tenant,
+                    depth: depth.min(u8::MAX as u64) as u8,
                 };
                 self.real.on_eviction(&origin, referenced);
-                self.oracle.evict(line, pc, source, tenant, referenced);
+                self.oracle
+                    .evict(line, pc, source, tenant, depth, referenced);
             }
             "demand_miss" => {
                 let now = u(event, "now");
@@ -471,6 +697,7 @@ pub fn lookup_event(
     pc: u64,
     source: PrefetchSource,
     tenant: u8,
+    depth: u8,
     now: u64,
 ) -> JsonValue {
     obj(&[
@@ -479,6 +706,7 @@ pub fn lookup_event(
         ("pc", pc.to_json()),
         ("source", source.to_json()),
         ("tenant", (tenant as u64).to_json()),
+        ("depth", (depth as u64).to_json()),
         ("now", now.to_json()),
     ])
 }
@@ -497,16 +725,16 @@ mod tests {
     #[test]
     fn weakly_good_first_touch_passes() {
         let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
-        assert!(f.lookup(LineAddr(5), 0x100, PrefetchSource::Nsp, 0, 0));
+        assert!(f.lookup(LineAddr(5), 0x100, PrefetchSource::Nsp, 0, 1, 0));
     }
 
     #[test]
     fn two_bad_outcomes_reject_then_recovery_trains_back() {
         let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
         let l = LineAddr(5);
-        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
-        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
-        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 10));
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, 1, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, 1, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 1, 10));
         f.demand_miss(l, 20);
         assert_eq!(f.stats().recovered, 1);
     }
@@ -515,9 +743,9 @@ mod tests {
     fn stale_recovery_is_dropped() {
         let mut f = RefFilter::new(&cfg(FilterKind::Pa)).unwrap();
         let l = LineAddr(5);
-        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
-        f.evict(l, 0x100, PrefetchSource::Nsp, 0, false);
-        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 0));
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, 1, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, 1, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 1, 0));
         f.demand_miss(l, 100_000);
         assert_eq!(f.stats().recovered, 0, "beyond the freshness window");
     }
@@ -544,12 +772,12 @@ mod tests {
         let mut f = RefFilter::new(&c).unwrap();
         let l = LineAddr(5);
         // Tenant 1 poisons its counter for the line...
-        f.evict(l, 0x100, PrefetchSource::Nsp, 1, false);
-        f.evict(l, 0x100, PrefetchSource::Nsp, 1, false);
-        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 1, 0));
+        f.evict(l, 0x100, PrefetchSource::Nsp, 1, 1, false);
+        f.evict(l, 0x100, PrefetchSource::Nsp, 1, 1, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 1, 1, 0));
         // ...and every other tenant's view of the same line is untouched.
         for victim in [0u8, 2, 3] {
-            assert!(f.lookup(l, 0x100, PrefetchSource::Nsp, victim, 0));
+            assert!(f.lookup(l, 0x100, PrefetchSource::Nsp, victim, 1, 0));
         }
     }
 
@@ -579,5 +807,85 @@ mod tests {
         let mut c = cfg(FilterKind::Pa);
         c.adaptive_accuracy_threshold = Some(0.5);
         assert!(RefFilter::new(&c).is_err());
+    }
+
+    #[test]
+    fn perceptron_geometry_matches_real_weight_tables() {
+        for (entries, bits, parts) in [(4096usize, 2u8, 1usize), (1024, 2, 1), (4096, 2, 4)] {
+            let mut c = cfg(FilterKind::Perceptron);
+            c.table_entries = entries;
+            c.counter_bits = bits;
+            c.tenant_partitions = parts;
+            let f = RefFilter::new(&c).unwrap();
+            let real = PollutionFilter::new(&c);
+            assert_eq!(
+                f.perceptron_weights().map(<[Vec<i8>]>::to_vec),
+                real.weight_snapshot(),
+                "{entries}x{bits} P={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn perceptron_admits_until_trained_then_recovers() {
+        let mut f = RefFilter::new(&cfg(FilterKind::Perceptron)).unwrap();
+        let l = LineAddr(5);
+        assert!(f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 1, 0));
+        f.evict(l, 0x100, PrefetchSource::Nsp, 0, 1, false);
+        assert!(!f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 1, 5));
+        f.demand_miss(l, 10);
+        assert_eq!(f.stats().recovered, 1);
+        assert!(f.lookup(l, 0x100, PrefetchSource::Nsp, 0, 1, 11));
+    }
+
+    #[test]
+    fn perceptron_lockstep_smoke_random_events() {
+        // A miniature campaign inline: drive both models through the
+        // harness path with a config mix (plain, salted, partitioned) and
+        // require byte-identical weights and stats at every step.
+        for (salt, parts) in [
+            (0u64, 1usize),
+            (0x5eed_cafe_f00d_d00d, 1),
+            (0, 4),
+            (0xbeef, 4),
+        ] {
+            let mut c = cfg(FilterKind::Perceptron);
+            c.table_entries = 256;
+            c.counter_bits = 2;
+            c.hash_salt = salt;
+            c.tenant_partitions = parts;
+            let mut h = FilterHarness::from_config(&c.to_json()).unwrap();
+            let mut x = 0x1234_5678_9abc_def0u64 ^ salt;
+            for step in 0..400u64 {
+                // xorshift64 event stream.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let line = LineAddr(x % 512);
+                let pc = 0x400 + (x >> 9) % 64 * 4;
+                let tenant = ((x >> 20) % 4) as u8;
+                let depth = (x >> 24) % 20;
+                let ev = match x % 3 {
+                    0 => lookup_event(line, pc, PrefetchSource::Nsp, tenant, depth as u8, step),
+                    1 => obj(&[
+                        ("op", JsonValue::Str("evict".into())),
+                        ("line", line.0.to_json()),
+                        ("pc", pc.to_json()),
+                        ("source", PrefetchSource::Nsp.to_json()),
+                        ("tenant", (tenant as u64).to_json()),
+                        ("depth", depth.to_json()),
+                        ("referenced", (x & 8 == 0).to_json()),
+                    ]),
+                    _ => obj(&[
+                        ("op", JsonValue::Str("demand_miss".into())),
+                        ("line", line.0.to_json()),
+                        ("now", step.to_json()),
+                    ]),
+                };
+                h.step(&ev).unwrap_or_else(|e| {
+                    panic!("divergence at step {step} (salt {salt:#x} P={parts}): {e}")
+                });
+            }
+        }
     }
 }

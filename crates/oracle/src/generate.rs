@@ -81,9 +81,20 @@ fn cache_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
 }
 
 fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
-    let kind = *rng.pick(&["Pa", "Pc", "Hybrid"]);
+    // Half the campaign exercises the perceptron filter; the other half
+    // splits across the paper's counter-table kinds. Salted and partitioned
+    // variants are drawn independently below, so hardened perceptron
+    // configs come up as often as hardened counter tables.
+    let kind = *rng.pick(&[
+        "Pa",
+        "Pc",
+        "Hybrid",
+        "Perceptron",
+        "Perceptron",
+        "Perceptron",
+    ]);
     // split_by_source only applies to the flat kinds.
-    let split = kind != "Hybrid" && rng.chance(0.25);
+    let split = (kind == "Pa" || kind == "Pc") && rng.chance(0.25);
     // Half the campaign runs hardened: a random keyed-hash salt and/or a
     // partitioned table, so the salted fold and the per-tenant slot math
     // stay under lockstep alongside the paper's shared-table baseline.
@@ -130,6 +141,7 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
                 ("pc", pc(rng, 64).to_json()),
                 ("source", source(rng)),
                 ("tenant", tenant),
+                ("depth", rng.below(20).to_json()),
                 ("now", now.to_json()),
             ]),
             40..=79 => obj(&[
@@ -138,6 +150,7 @@ fn filter_case(rng: &mut SplitMix64) -> (JsonValue, Vec<JsonValue>) {
                 ("pc", pc(rng, 64).to_json()),
                 ("source", source(rng)),
                 ("tenant", tenant),
+                ("depth", rng.below(20).to_json()),
                 ("referenced", rng.chance(0.5).to_json()),
             ]),
             _ => obj(&[

@@ -129,12 +129,13 @@ impl Prefetcher for CorrelationPrefetcher {
         let slot = self.slot(ev.line);
         let e = &self.entries[slot];
         if e.valid && e.tag == ev.line {
-            for succ in e.next.iter().flatten().take(self.degree) {
+            for (d, succ) in e.next.iter().flatten().take(self.degree).enumerate() {
                 out.push(PrefetchRequest {
                     line: *succ,
                     trigger_pc: ev.pc,
                     source: PrefetchSource::Stride,
                     tenant: 0,
+                    depth: (d + 1).min(u8::MAX as usize) as u8,
                 });
             }
         }

@@ -59,6 +59,7 @@ impl Prefetcher for NextSequencePrefetcher {
                 trigger_pc: ev.pc,
                 source: PrefetchSource::Nsp,
                 tenant: 0,
+                depth: d.min(u8::MAX as i64) as u8,
             });
         }
     }
@@ -117,6 +118,7 @@ mod tests {
             trigger_pc: 0,
             source: PrefetchSource::Sdp,
             tenant: 0,
+            depth: 1,
         }];
         p.on_access(&miss_event(0x100, 10, true), &mut out);
         assert_eq!(out.len(), 2, "existing requests preserved");

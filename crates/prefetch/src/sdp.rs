@@ -226,6 +226,7 @@ impl Prefetcher for ShadowDirectoryPrefetcher {
                     trigger_pc: ev.pc,
                     source: PrefetchSource::Sdp,
                     tenant: 0,
+                    depth: 1,
                 });
                 self.push_pending(shadow, slot);
             }

@@ -20,6 +20,9 @@ pub fn request_for(pc: Pc, addr: Addr, line_bytes: u32) -> PrefetchRequest {
         trigger_pc: pc,
         source: PrefetchSource::Software,
         tenant: 0,
+        // The compiler inserted the prefetch right where it is needed:
+        // depth 0, the least speculative request the machine issues.
+        depth: 0,
     }
 }
 

@@ -137,6 +137,7 @@ impl Prefetcher for StridePrefetcher {
                     trigger_pc: ev.pc,
                     source: PrefetchSource::Stride,
                     tenant: 0,
+                    depth: self.degree.min(u8::MAX as i64) as u8,
                 });
             }
         }

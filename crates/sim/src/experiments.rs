@@ -767,6 +767,36 @@ pub fn fig15_16(n: u64) -> Vec<RunSpec> {
     grid
 }
 
+/// The equal-bit-budget filter family head-to-head (DESIGN.md §15): every
+/// filter kind — none, PA, PC, the 2-bit Hybrid tournament, and the hashed
+/// perceptron — on the default machine over all ten workloads. Every
+/// filtering cell inherits the same `table_entries × counter_bits` storage
+/// budget from the paper-default config; the perceptron spends it on
+/// signed feature weights instead of unsigned counters, so the comparison
+/// isolates the prediction structure, not the silicon area.
+pub fn filter_family(n: u64) -> Vec<RunSpec> {
+    let mut grid = Vec::new();
+    for kind in [
+        FilterKind::None,
+        FilterKind::Pa,
+        FilterKind::Pc,
+        FilterKind::Hybrid,
+        FilterKind::Perceptron,
+    ] {
+        let label = if kind == FilterKind::None {
+            "no-filter"
+        } else {
+            kind.label()
+        };
+        grid.extend(all_workloads(
+            label,
+            SystemConfig::paper_default().with_filter(kind),
+            n,
+        ));
+    }
+    grid
+}
+
 /// §5.2.1's per-prefetcher analysis: NSP-only and SDP-only machines, each
 /// without and with the PA filter.
 pub fn nsp_sdp_solo(n: u64) -> Vec<RunSpec> {
@@ -814,14 +844,19 @@ pub const HARDENINGS: [(&str, u64, usize); 4] = [
 ];
 
 /// The adversarial attack-vs-hardening matrix (DESIGN.md §12): every
-/// [`AttackKind`] × hardening level × {PA, PC, Hybrid} on em3d, plus one
-/// clean (attack-free) cell per configuration as the recovery baseline.
-/// Attack windows scale with the budget: the campaign opens after an
-/// eighth of the measured run and closes at the midpoint, leaving half the
-/// run to observe recovery.
+/// [`AttackKind`] × hardening level × {PA, PC, Hybrid, Perceptron} on
+/// em3d, plus one clean (attack-free) cell per configuration as the
+/// recovery baseline. Attack windows scale with the budget: the campaign
+/// opens after an eighth of the measured run and closes at the midpoint,
+/// leaving half the run to observe recovery.
 pub fn attack_matrix(n: u64) -> Vec<RunSpec> {
     let mut grid = Vec::new();
-    for kind in [FilterKind::Pa, FilterKind::Pc, FilterKind::Hybrid] {
+    for kind in [
+        FilterKind::Pa,
+        FilterKind::Pc,
+        FilterKind::Hybrid,
+        FilterKind::Perceptron,
+    ] {
         for (hardening, salt, partitions) in HARDENINGS {
             let cfg = SystemConfig::paper_default()
                 .with_filter(kind)
@@ -1021,6 +1056,22 @@ mod tests {
         assert_eq!(fig15_16(N).len(), 40);
         assert_eq!(nsp_sdp_solo(N).len(), 40);
         assert_eq!(cache_vs_table(N).len(), 30);
+        assert_eq!(filter_family(N).len(), 50);
+    }
+
+    #[test]
+    fn filter_family_covers_every_kind_at_one_budget() {
+        let grid = filter_family(N);
+        let entries = SystemConfig::paper_default().filter.table_entries;
+        for spec in &grid {
+            spec.config.validate().expect("filter-family config valid");
+            assert_eq!(spec.config.filter.table_entries, entries);
+        }
+        let perceptron = grid
+            .iter()
+            .filter(|s| s.config.filter.kind == FilterKind::Perceptron)
+            .count();
+        assert_eq!(perceptron, 10, "one perceptron cell per workload");
     }
 
     #[test]

@@ -108,6 +108,8 @@ pub enum FilterTapEvent {
         now: Cycle,
         /// Tenant the request is charged to (selects salt/partition).
         tenant: u8,
+        /// Prefetch depth (lookahead distance) of the request.
+        depth: u8,
         /// The real filter's admit/drop decision.
         admitted: bool,
     },
@@ -121,6 +123,8 @@ pub enum FilterTapEvent {
         source: PrefetchSource,
         /// Tenant from the line's provenance.
         tenant: u8,
+        /// Prefetch depth from the line's provenance.
+        depth: u8,
         /// The line's RIB: was it referenced during residency?
         referenced: bool,
     },
@@ -238,6 +242,7 @@ impl MemSystem {
                 source: req.source,
                 now,
                 tenant: req.tenant,
+                depth: req.depth,
                 admitted,
             });
         }
@@ -253,6 +258,7 @@ impl MemSystem {
                 pc: origin.trigger_pc,
                 source: origin.source,
                 tenant: origin.tenant,
+                depth: origin.depth,
                 referenced,
             });
         }

@@ -269,6 +269,12 @@ pub enum FilterKind {
     /// PC-indexed chooser picking per trigger site — the natural follow-up
     /// to the paper's observation that PA and PC trade wins per benchmark.
     Hybrid,
+    /// Hashed perceptron (extension, DESIGN.md §15): one small signed
+    /// weight table per feature (trigger PC, line address, page offset,
+    /// prefetch depth, global accuracy), summed against a threshold. The
+    /// same storage budget as a counter table of `table_entries` ×
+    /// `counter_bits` bits, trained on the same PIB/RIB eviction feedback.
+    Perceptron,
 }
 
 impl FilterKind {
@@ -279,6 +285,7 @@ impl FilterKind {
             FilterKind::Pa => "PA",
             FilterKind::Pc => "PC",
             FilterKind::Hybrid => "hybrid",
+            FilterKind::Perceptron => "perceptron",
         }
     }
 }
@@ -588,6 +595,13 @@ impl SystemConfig {
                 "hybrid filter and split-by-source are mutually exclusive",
             ));
         }
+        if self.filter.kind == FilterKind::Perceptron && self.filter.split_by_source {
+            // The perceptron already separates evidence by feature; a
+            // four-way table split would quarter every feature table.
+            return Err(PpfError::config_invalid(
+                "perceptron filter and split-by-source are mutually exclusive",
+            ));
+        }
         if !self.filter.tenant_partitions.is_power_of_two()
             || self.filter.tenant_partitions > crate::prefetch::MAX_TENANTS
         {
@@ -676,7 +690,8 @@ json_unit_enum!(FilterKind {
     None,
     Pa,
     Pc,
-    Hybrid
+    Hybrid,
+    Perceptron
 });
 
 json_unit_enum!(CounterInit {
@@ -875,6 +890,16 @@ mod tests {
         assert_eq!(FilterKind::None.label(), "none");
         assert_eq!(FilterKind::Pa.label(), "PA");
         assert_eq!(FilterKind::Pc.label(), "PC");
+        assert_eq!(FilterKind::Hybrid.label(), "hybrid");
+        assert_eq!(FilterKind::Perceptron.label(), "perceptron");
+    }
+
+    #[test]
+    fn perceptron_rejects_split_by_source() {
+        let mut c = SystemConfig::paper_default().with_filter(FilterKind::Perceptron);
+        assert!(c.validate().is_ok());
+        c.filter.split_by_source = true;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub use config::{
 pub use error::{PpfError, PpfErrorKind};
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use prefetch::{
-    tenant_of_addr, PrefetchOrigin, PrefetchRequest, PrefetchSource, MAX_TENANTS, TENANT_ADDR_SHIFT,
+    tenant_of_addr, PrefetchOrigin, PrefetchRequest, PrefetchSource, MAX_PREFETCH_DEPTH,
+    MAX_TENANTS, TENANT_ADDR_SHIFT,
 };
 pub use rng::SplitMix64;
 pub use stats::{CacheStats, MissClass, PerSource, SimStats};

@@ -24,6 +24,10 @@ pub const MAX_TENANTS: usize = 4;
 /// they are all tenant 0 and behave exactly as before.
 pub const TENANT_ADDR_SHIFT: u32 = 41;
 
+/// Saturation bound for [`PrefetchRequest::depth`] when it feeds a filter
+/// feature table: depths beyond this are indistinguishable ("very deep").
+pub const MAX_PREFETCH_DEPTH: u8 = 15;
+
 /// The tenant ID encoded in a byte address (0 for every pre-existing
 /// workload). This is the *only* place a tenant is ever derived; from here
 /// it is threaded explicitly through [`PrefetchRequest`] →
@@ -104,6 +108,13 @@ pub struct PrefetchRequest {
     /// unchanged through filtering, queueing and the cache-line provenance
     /// so eviction feedback is charged to the tenant that caused it.
     pub tenant: u8,
+    /// Prefetch depth: how far ahead of the triggering access this request
+    /// reaches, in generator steps (degree-`d` NSP emits depths `1..=d`,
+    /// SDP's shadow step is depth 1, software prefetches are depth 0).
+    /// Deeper requests are more speculative; the perceptron filter uses the
+    /// depth as a confidence feature (DESIGN.md §15). Clamped to
+    /// [`MAX_PREFETCH_DEPTH`] when used as a feature.
+    pub depth: u8,
 }
 
 impl PrefetchRequest {
@@ -115,6 +126,7 @@ impl PrefetchRequest {
             trigger_pc: self.trigger_pc,
             source: self.source,
             tenant: self.tenant,
+            depth: self.depth,
         }
     }
 }
@@ -130,6 +142,8 @@ pub struct PrefetchOrigin {
     pub source: PrefetchSource,
     /// Tenant the prefetch is charged to (see [`PrefetchRequest::tenant`]).
     pub tenant: u8,
+    /// Prefetch depth at issue (see [`PrefetchRequest::depth`]).
+    pub depth: u8,
 }
 
 #[cfg(test)]
@@ -160,12 +174,14 @@ mod tests {
             trigger_pc: 0x4000,
             source: PrefetchSource::Sdp,
             tenant: 2,
+            depth: 3,
         };
         let o = req.origin();
         assert_eq!(o.line, req.line);
         assert_eq!(o.trigger_pc, req.trigger_pc);
         assert_eq!(o.source, req.source);
         assert_eq!(o.tenant, req.tenant);
+        assert_eq!(o.depth, req.depth);
     }
 
     #[test]

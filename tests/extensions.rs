@@ -7,7 +7,7 @@ mod common;
 
 use common::{assert_census_conserved, census_slack, run_one};
 use ppf::sim::{run_grid, RunSpec};
-use ppf::types::{FilterKind, PrefetchSource, SystemConfig};
+use ppf::types::{FilterKind, JsonValue, PrefetchSource, SystemConfig, ToJson};
 use ppf::workloads::Workload;
 
 const N: u64 = 250_000;
@@ -151,6 +151,55 @@ fn strict_filter_rejects_more_but_recovers_nothing() {
         strict.stats.good_total() < recovering.stats.good_total(),
         "and lose more good prefetches doing it"
     );
+}
+
+const FAMILY_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/filter_family_perceptron.json"
+);
+
+/// Render the pinned perceptron cell of the `filter-family` experiment —
+/// ijpeg under the equal-budget perceptron filter at the default seed —
+/// as the golden JSON document. Any semantic drift in the perceptron's
+/// features, training gate, recovery or hashing shows up here as a byte
+/// diff long before the full head-to-head is re-measured.
+fn perceptron_family_cell_json() -> String {
+    let cfg = SystemConfig::paper_default().with_filter(FilterKind::Perceptron);
+    let r = run_one("filter-family", cfg, Workload::Ijpeg, N);
+    let doc = JsonValue::Object(vec![
+        (
+            "experiment".to_string(),
+            JsonValue::Str("filter-family".to_string()),
+        ),
+        (
+            "cell".to_string(),
+            JsonValue::Str("perceptron/ijpeg".to_string()),
+        ),
+        ("instructions".to_string(), JsonValue::UInt(N)),
+        ("stats".to_string(), r.stats.to_json()),
+    ]);
+    let mut text = doc.pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn perceptron_family_cell_matches_committed_golden() {
+    let golden = std::fs::read_to_string(FAMILY_GOLDEN_PATH).expect(
+        "golden missing — regenerate with \
+         `cargo test --test extensions -- --ignored regenerate_perceptron_family_golden`",
+    );
+    assert_eq!(
+        perceptron_family_cell_json(),
+        golden,
+        "perceptron filter-family cell drifted from the committed golden"
+    );
+}
+
+#[test]
+#[ignore = "writes tests/golden/filter_family_perceptron.json"]
+fn regenerate_perceptron_family_golden() {
+    std::fs::write(FAMILY_GOLDEN_PATH, perceptron_family_cell_json()).expect("write golden");
 }
 
 #[test]

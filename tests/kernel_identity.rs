@@ -205,7 +205,8 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             prop_oneof![
                 Just(FilterKind::None),
                 Just(FilterKind::Pa),
-                Just(FilterKind::Pc)
+                Just(FilterKind::Pc),
+                Just(FilterKind::Perceptron)
             ],
             0u64..20_000,
             5_000u64..40_000,

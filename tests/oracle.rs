@@ -115,8 +115,8 @@ fn replay_committed_corpus() {
         .collect();
     files.sort();
     assert!(
-        files.len() >= 5,
-        "seed corpus must hold at least 5 cases (including the two attack campaigns), found {}: {files:?}",
+        files.len() >= 7,
+        "seed corpus must hold at least 7 cases (the two attack campaigns and the two perceptron pins included), found {}: {files:?}",
         files.len()
     );
     for f in &files {
@@ -226,9 +226,10 @@ fn live_sim_filter_traffic_replays_into_the_oracle() {
                 source,
                 now,
                 tenant,
+                depth,
                 admitted,
             } => {
-                let o = oracle.lookup(line, pc, source, tenant, now);
+                let o = oracle.lookup(line, pc, source, tenant, depth as u64, now);
                 assert_eq!(
                     o, admitted,
                     "tap step {i}: oracle disagrees with the live decision on {ev:?}"
@@ -239,8 +240,9 @@ fn live_sim_filter_traffic_replays_into_the_oracle() {
                 pc,
                 source,
                 tenant,
+                depth,
                 referenced,
-            } => oracle.evict(line, pc, source, tenant, referenced),
+            } => oracle.evict(line, pc, source, tenant, depth as u64, referenced),
             FilterTapEvent::DemandMiss { line, now } => oracle.demand_miss(line, now),
         }
     }
@@ -336,6 +338,53 @@ const SEED_CORPUS: &[(&str, &str)] = &[
 {"op":"evict","line":8590065669,"pc":4096,"source":"Nsp","tenant":0,"referenced":false}
 {"op":"lookup","line":4295032837,"pc":4096,"source":"Nsp","tenant":0,"now":10}
 {"op":"lookup","line":5,"pc":4096,"source":"Nsp","tenant":0,"now":11}
+"#,
+    ),
+    (
+        "perceptron-weight-saturation-clamp",
+        r#"# Sixteen bad trainings of one feature vector drive every selected weight
+# one step past the -15 clamp boundary: the sixteenth train must be a
+# no-op on the already-saturated weights (symmetric saturation), and two
+# good trainings afterwards move them back off the rail by exactly two.
+{"version":1,"kind":"filter","config":{"kind":"Perceptron","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false,"hash_salt":0,"tenant_partitions":1},"note":"weight saturation pinned at the clamp boundary: train 16 is absorbed, the walk back is exact"}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","depth":3,"now":50}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":true}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":true}
+{"op":"lookup","line":5,"pc":4096,"source":"Nsp","depth":3,"now":60}
+"#,
+    ),
+    (
+        "perceptron-threshold-crossing-recovery",
+        r#"# Threshold-crossing train events: one bad training leaves a neighbouring
+# vector (same PC, depth and accuracy bucket, different line) at sum -3 —
+# one below the admit threshold of -2 — so it is rejected; a single good
+# training elsewhere moves the accuracy bucket and lifts the same vector
+# across the threshold. The rejected lookup then recovers via demand miss:
+# target-only recovery bumps the pc/line/offset weights by +1 each (shared
+# depth and accuracy weights stay put), landing the final lookup at +2.
+{"version":1,"kind":"filter","config":{"kind":"Perceptron","table_entries":64,"counter_bits":2,"counter_init":"WeaklyGood","adaptive_accuracy_threshold":null,"adaptive_window":1024,"recovery_window":100,"split_by_source":false,"hash_salt":0,"tenant_partitions":1},"note":"sum -3 rejects, bucket shift re-admits at -1, target-only recovery lifts the vector to +2"}
+{"op":"evict","line":5,"pc":4096,"source":"Nsp","depth":3,"referenced":false}
+{"op":"lookup","line":6,"pc":4096,"source":"Nsp","depth":3,"now":10}
+{"op":"evict","line":40,"pc":4100,"source":"Nsp","depth":1,"referenced":true}
+{"op":"lookup","line":6,"pc":4096,"source":"Nsp","depth":3,"now":20}
+{"op":"demand_miss","line":6,"now":30}
+{"op":"lookup","line":6,"pc":4096,"source":"Nsp","depth":3,"now":40}
 "#,
     ),
 ];
